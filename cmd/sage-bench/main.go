@@ -1,0 +1,50 @@
+// Command sage-bench regenerates the paper's tables and figures over the
+// synthetic workloads.
+//
+// Usage:
+//
+//	sage-bench -exp fig1 -scale 16
+//	sage-bench -exp all  -scale 14
+//
+// Experiments: fig1, fig2, fig6, fig7, table1, table2, table3, table4,
+// table5, sec52, all. Scale is log2 of the vertex count of the main
+// R-MAT workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sage/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1|fig2|fig6|fig7|table1|table2|table3|table4|table5|sec52|all)")
+	scale := flag.Int("scale", 16, "log2 vertices of the R-MAT workload")
+	flag.Parse()
+
+	runners := map[string]func() []*harness.Report{
+		"fig1":   func() []*harness.Report { return []*harness.Report{harness.RunFig1(*scale)} },
+		"fig2":   func() []*harness.Report { return []*harness.Report{harness.RunFig2()} },
+		"fig6":   func() []*harness.Report { return []*harness.Report{harness.RunFig6(*scale)} },
+		"fig7":   func() []*harness.Report { return []*harness.Report{harness.RunFig7(*scale)} },
+		"table1": func() []*harness.Report { return []*harness.Report{harness.RunTable1(*scale)} },
+		"table2": func() []*harness.Report { return []*harness.Report{harness.RunTable2(*scale)} },
+		"table3": func() []*harness.Report { return []*harness.Report{harness.RunTable3(*scale)} },
+		"table4": func() []*harness.Report { return []*harness.Report{harness.RunTable4(*scale)} },
+		"table5": func() []*harness.Report { return []*harness.Report{harness.RunTable5(*scale)} },
+		"sec52":  func() []*harness.Report { return []*harness.Report{harness.RunSec52(*scale)} },
+		"appD1":  func() []*harness.Report { return []*harness.Report{harness.RunAppD1(*scale)} },
+		"all":    func() []*harness.Report { return harness.RunAll(*scale) },
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, rep := range run() {
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,66 @@
+// Command sage-gen generates synthetic graphs and writes them in the
+// binary format consumed by sage-run.
+//
+// Usage:
+//
+//	sage-gen -kind rmat -logn 18 -deg 16 -out web.sg
+//	sage-gen -kind grid -rows 512 -cols 512 -out road.sg
+//	sage-gen -kind powerlaw -n 100000 -deg 8 -weighted -out social.sg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sage/internal/gen"
+	"sage/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "rmat", "generator: rmat|er|powerlaw|grid|star|chain")
+	logn := flag.Int("logn", 16, "log2 vertices (rmat)")
+	n := flag.Uint("n", 1<<16, "vertices (er, powerlaw, star, chain)")
+	deg := flag.Int("deg", 16, "average degree target")
+	rows := flag.Uint("rows", 256, "grid rows")
+	cols := flag.Uint("cols", 256, "grid cols")
+	torus := flag.Bool("torus", false, "wrap the grid")
+	weighted := flag.Bool("weighted", false, "attach uniform weights in [1, log2 n)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output path (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "missing -out")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var g *graph.Graph
+	switch *kind {
+	case "rmat":
+		g = gen.RMAT(*logn, *deg, *seed)
+	case "er":
+		g = gen.ErdosRenyi(uint32(*n), int(*n)*(*deg)/2, *seed)
+	case "powerlaw":
+		g = gen.PowerLaw(uint32(*n), *deg/2, *seed)
+	case "grid":
+		g = gen.Grid2D(uint32(*rows), uint32(*cols), *torus)
+	case "star":
+		g = gen.Star(uint32(*n))
+	case "chain":
+		g = gen.Chain(uint32(*n))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *weighted {
+		g = gen.AddUniformWeights(g, *seed+1)
+	}
+	if err := g.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "save:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: n=%d m=%d davg=%.1f weighted=%v\n",
+		*out, g.NumVertices(), g.NumEdges(),
+		float64(g.NumEdges())/float64(g.NumVertices()), g.Weighted())
+}

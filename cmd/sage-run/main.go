@@ -1,0 +1,193 @@
+// Command sage-run executes one Sage algorithm on a stored graph under a
+// chosen memory configuration and reports the result summary, wall-clock
+// time, and simulated PSAM statistics.
+//
+// Usage:
+//
+//	sage-run -graph web.sg -algo bfs -src 0
+//	sage-run -graph web.sg -algo kcore -mode memorymode
+//	sage-run -graph social.sg -algo wbfs -src 3 -mode appdirect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sage"
+)
+
+func main() {
+	path := flag.String("graph", "", "binary graph path (from sage-gen)")
+	algo := flag.String("algo", "bfs", "bfs|wbfs|bellmanford|widest|bc|spanner|ldd|cc|forest|biconn|mis|matching|coloring|kcore|densest|tc|pagerank|ppr|kclique|ktruss|localcluster")
+	src := flag.Uint("src", 0, "source vertex for rooted algorithms")
+	modeName := flag.String("mode", "appdirect", "dram|appdirect|memorymode|nvramall")
+	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse")
+	compressBS := flag.Int("compress", 0, "compress the graph with this block size (0 = uncompressed)")
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "missing -graph")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := sage.Load(*path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+	if *compressBS > 0 {
+		g = g.Compress(*compressBS)
+	}
+
+	modes := map[string]sage.Mode{
+		"dram": sage.DRAM, "appdirect": sage.AppDirect,
+		"memorymode": sage.MemoryMode, "nvramall": sage.NVRAMAll,
+	}
+	mode, ok := modes[*modeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+	strategies := map[string]sage.Strategy{
+		"chunked": sage.Chunked, "blocked": sage.Blocked, "sparse": sage.Sparse,
+	}
+	strategy, ok := strategies[*strategyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+
+	opts := []sage.Option{sage.WithMode(mode), sage.WithStrategy(strategy)}
+	if mode == sage.MemoryMode {
+		opts = append(opts, sage.WithCache(g.SizeWords()/8))
+	}
+	e := sage.NewEngine(opts...)
+	s := uint32(*src)
+
+	start := time.Now()
+	var summary string
+	switch *algo {
+	case "bfs":
+		parents := e.BFS(g, s)
+		reached := 0
+		for _, p := range parents {
+			if p != ^uint32(0) {
+				reached++
+			}
+		}
+		summary = fmt.Sprintf("reached %d of %d vertices", reached, g.NumVertices())
+	case "wbfs":
+		dist := e.WBFS(g, s)
+		summary = fmt.Sprintf("computed %d distances", len(dist))
+	case "bellmanford":
+		dist := e.BellmanFord(g, s)
+		summary = fmt.Sprintf("computed %d distances", len(dist))
+	case "widest":
+		w := e.WidestPath(g, s)
+		summary = fmt.Sprintf("computed %d widths", len(w))
+	case "bc":
+		deps := e.Betweenness(g, s)
+		var maxDep float64
+		for _, d := range deps {
+			if d > maxDep {
+				maxDep = d
+			}
+		}
+		summary = fmt.Sprintf("max dependency %.2f", maxDep)
+	case "spanner":
+		edges := e.Spanner(g, 0)
+		summary = fmt.Sprintf("spanner with %d edges (n=%d)", len(edges), g.NumVertices())
+	case "ldd":
+		res := e.LDD(g, 0.2)
+		summary = fmt.Sprintf("decomposed in %d rounds", res.Rounds)
+	case "cc":
+		labels := e.Connectivity(g)
+		distinct := map[uint32]bool{}
+		for _, l := range labels {
+			distinct[l] = true
+		}
+		summary = fmt.Sprintf("%d connected components", len(distinct))
+	case "forest":
+		f := e.SpanningForest(g)
+		summary = fmt.Sprintf("spanning forest with %d edges", len(f))
+	case "biconn":
+		res := e.Biconnectivity(g)
+		distinct := map[uint32]bool{}
+		for v, l := range res.Label {
+			if res.Parent[v] != uint32(v) && res.Parent[v] != ^uint32(0) {
+				distinct[l] = true
+			}
+		}
+		summary = fmt.Sprintf("%d biconnected components (tree-edge labels)", len(distinct))
+	case "mis":
+		in := e.MIS(g)
+		count := 0
+		for _, b := range in {
+			if b {
+				count++
+			}
+		}
+		summary = fmt.Sprintf("independent set of size %d", count)
+	case "matching":
+		m := e.MaximalMatching(g)
+		summary = fmt.Sprintf("matching of size %d", len(m))
+	case "coloring":
+		colors := e.Coloring(g)
+		maxC := uint32(0)
+		for _, c := range colors {
+			if c > maxC {
+				maxC = c
+			}
+		}
+		summary = fmt.Sprintf("used %d colors", maxC+1)
+	case "kcore":
+		core := e.KCore(g)
+		maxK := uint32(0)
+		for _, k := range core {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		summary = fmt.Sprintf("max coreness %d", maxK)
+	case "densest":
+		res := e.ApproxDensestSubgraph(g)
+		summary = fmt.Sprintf("density %.3f in %d rounds", res.Density, res.Rounds)
+	case "tc":
+		res := e.TriangleCount(g)
+		summary = fmt.Sprintf("%d triangles (intersection work %d, total work %d)",
+			res.Count, res.IntersectionWork, res.TotalWork)
+	case "pagerank":
+		_, iters := e.PageRank(g, 1e-6, 100)
+		summary = fmt.Sprintf("converged in %d iterations", iters)
+	case "ppr":
+		_, iters := e.PersonalizedPageRank(g, s, 0.85, 1e-9, 100)
+		summary = fmt.Sprintf("personalized PageRank converged in %d iterations", iters)
+	case "kclique":
+		c := e.KCliqueCount(g, 4)
+		summary = fmt.Sprintf("%d 4-cliques", c)
+	case "ktruss":
+		res := e.KTruss(g)
+		maxT := uint32(0)
+		for _, tr := range res.Trussness {
+			if tr > maxT {
+				maxT = tr
+			}
+		}
+		summary = fmt.Sprintf("max trussness %d over %d edges", maxT, len(res.Trussness))
+	case "localcluster":
+		res := e.LocalCluster(g, s, 0.85, 0)
+		summary = fmt.Sprintf("cluster of %d vertices at conductance %.3f",
+			len(res.Members), res.Conductance)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%s on n=%d m=%d [%s, %s]\n", *algo, g.NumVertices(), g.NumEdges(), *modeName, *strategyName)
+	fmt.Println(" ", summary)
+	fmt.Println("  time:", elapsed.Round(time.Microsecond))
+	fmt.Println("  stats:", e.Stats())
+}

@@ -1,0 +1,248 @@
+package sage
+
+import (
+	"fmt"
+
+	"sage/internal/algos"
+	"sage/internal/psam"
+)
+
+// Engine runs the Sage algorithms under a chosen memory configuration,
+// accumulating PSAM access counts and small-memory peaks across calls.
+// Engines are cheap; use one per configuration under comparison.
+type Engine struct {
+	opts *algos.Options
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMode selects the memory configuration (default AppDirect).
+func WithMode(m Mode) Option {
+	return func(e *Engine) { e.opts.Env.Mode = m }
+}
+
+// WithStrategy selects the sparse traversal implementation (default
+// Chunked — the Sage design; Blocked reproduces the GBBS baseline).
+func WithStrategy(s Strategy) Option {
+	return func(e *Engine) { e.opts.Traverse.Strategy = s }
+}
+
+// WithCostModel overrides the simulated NVRAM read cost and write
+// multiplier ω. The default is the PSAM of §3 — reads unit cost, writes
+// NVRAMRead·ω = 12 DRAM accesses; pass (3, 4) to charge the raw Optane
+// device ratios instead for sensitivity studies.
+func WithCostModel(nvramRead, omega int64) Option {
+	return func(e *Engine) {
+		e.opts.Env.Cfg.NVRAMRead = nvramRead
+		e.opts.Env.Cfg.Omega = omega
+	}
+}
+
+// WithCache attaches a Memory-Mode cache of the given capacity in
+// simulated words (required for MemoryMode).
+func WithCache(words int64) Option {
+	return func(e *Engine) { e.opts.Env.WithCache(words) }
+}
+
+// WithSeed sets the seed for the randomized algorithms (default 1).
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.opts.Seed = seed }
+}
+
+// WithFilterBlockSize sets the graph filter block size FB (default 64;
+// must equal the compression block size on compressed inputs, §4.2.1).
+func WithFilterBlockSize(fb int) Option {
+	return func(e *Engine) { e.opts.FB = fb }
+}
+
+// WithEps sets the approximation parameter for set cover and densest
+// subgraph (default 0.05).
+func WithEps(eps float64) Option {
+	return func(e *Engine) { e.opts.Eps = eps }
+}
+
+// NewEngine returns an engine in AppDirect mode with Sage defaults.
+func NewEngine(options ...Option) *Engine {
+	e := &Engine{opts: algos.Defaults().WithEnv(psam.NewEnv(psam.AppDirect))}
+	for _, o := range options {
+		o(e)
+	}
+	if e.opts.Env.Mode == psam.MemoryMode && e.opts.Env.Cache == nil {
+		e.opts.Env.WithCache(1 << 22) // a default cache; override per run
+	}
+	return e
+}
+
+// Stats is a snapshot of the engine's accumulated simulated-memory
+// behaviour.
+type Stats struct {
+	// PSAMCost is the simulated cost under the engine's cost model (§3.1).
+	PSAMCost int64
+	// NVRAMReads / NVRAMWrites are word counts against the large-memory.
+	NVRAMReads, NVRAMWrites int64
+	// DRAMReads / DRAMWrites are word counts against the small-memory.
+	DRAMReads, DRAMWrites int64
+	// CacheHits / CacheMisses are Memory-Mode block statistics.
+	CacheHits, CacheMisses int64
+	// PeakDRAMWords is the peak tracked small-memory residency.
+	PeakDRAMWords int64
+}
+
+// String formats the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("cost=%d nvram(r=%d w=%d) dram(r=%d w=%d) peakDRAM=%d words",
+		s.PSAMCost, s.NVRAMReads, s.NVRAMWrites, s.DRAMReads, s.DRAMWrites, s.PeakDRAMWords)
+}
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats {
+	t := e.opts.Env.Totals()
+	return Stats{
+		PSAMCost:      t.Cost(e.opts.Env.Cfg),
+		NVRAMReads:    t.NVRAMReads,
+		NVRAMWrites:   t.NVRAMWrites,
+		DRAMReads:     t.DRAMReads,
+		DRAMWrites:    t.DRAMWrites,
+		CacheHits:     t.CacheHits,
+		CacheMisses:   t.CacheMisses,
+		PeakDRAMWords: e.opts.Env.Space.Peak(),
+	}
+}
+
+// ResetStats zeroes the counters (and Memory-Mode cache).
+func (e *Engine) ResetStats() { e.opts.Env.Reset() }
+
+// Options exposes the underlying algorithm options (for the experiment
+// harness; applications should not need it).
+func (e *Engine) Options() *algos.Options { return e.opts }
+
+// BFS returns a BFS parent array from src (Figure 4; Theorem 4.2).
+func (e *Engine) BFS(g *Graph, src uint32) []uint32 {
+	return algos.BFS(g.adj, e.opts, src)
+}
+
+// WBFS returns integral-weight shortest-path distances from src via
+// bucketing (Julienne-style wBFS).
+func (e *Engine) WBFS(g *Graph, src uint32) []uint32 {
+	return algos.WBFS(g.adj, e.opts, src)
+}
+
+// BellmanFord returns general-weight shortest-path distances from src.
+func (e *Engine) BellmanFord(g *Graph, src uint32) []int64 {
+	return algos.BellmanFord(g.adj, e.opts, src)
+}
+
+// WidestPath returns single-source widest-path widths from src.
+func (e *Engine) WidestPath(g *Graph, src uint32) []int64 {
+	return algos.WidestPath(g.adj, e.opts, src)
+}
+
+// WidestPathBucketed is the bucketing-based widest-path variant.
+func (e *Engine) WidestPathBucketed(g *Graph, src uint32) []int64 {
+	return algos.WidestPathBucketed(g.adj, e.opts, src)
+}
+
+// Betweenness returns single-source betweenness dependencies from src.
+func (e *Engine) Betweenness(g *Graph, src uint32) []float64 {
+	return algos.Betweenness(g.adj, e.opts, src)
+}
+
+// Spanner returns the edges of an O(k)-spanner (k=0 selects ⌈log₂ n⌉).
+func (e *Engine) Spanner(g *Graph, k int) []Edge {
+	return algos.Spanner(g.adj, e.opts, k)
+}
+
+// LDD returns a low-diameter decomposition with parameter beta.
+func (e *Engine) LDD(g *Graph, beta float64) *algos.LDDResult {
+	return algos.LDD(g.adj, e.opts, beta, e.opts.Seed)
+}
+
+// Connectivity returns connected-component labels.
+func (e *Engine) Connectivity(g *Graph) []uint32 {
+	return algos.Connectivity(g.adj, e.opts)
+}
+
+// SpanningForest returns the edges of a spanning forest.
+func (e *Engine) SpanningForest(g *Graph) []Edge {
+	return algos.SpanningForest(g.adj, e.opts)
+}
+
+// Biconnectivity returns the biconnected-component labeling.
+func (e *Engine) Biconnectivity(g *Graph) *algos.BiconnResult {
+	return algos.Biconnectivity(g.adj, e.opts)
+}
+
+// MIS returns a maximal independent set (deterministic in the seed).
+func (e *Engine) MIS(g *Graph) []bool {
+	return algos.MIS(g.adj, e.opts)
+}
+
+// MaximalMatching returns a maximal matching.
+func (e *Engine) MaximalMatching(g *Graph) []Edge {
+	return algos.MaximalMatching(g.adj, e.opts)
+}
+
+// Coloring returns a (Δ+1)-coloring.
+func (e *Engine) Coloring(g *Graph) []uint32 {
+	return algos.Coloring(g.adj, e.opts)
+}
+
+// ApproxSetCover solves the bipartite set-cover instance (sets are
+// vertices [0, numSets)); see algos.BipartiteFromSets for the layout.
+func (e *Engine) ApproxSetCover(g *Graph, numSets uint32) []uint32 {
+	return algos.ApproxSetCover(g.adj, e.opts, numSets)
+}
+
+// KCore returns the coreness of every vertex.
+func (e *Engine) KCore(g *Graph) []uint32 {
+	return algos.KCore(g.adj, e.opts)
+}
+
+// ApproxDensestSubgraph returns a 2(1+ε)-approximate densest subgraph.
+func (e *Engine) ApproxDensestSubgraph(g *Graph) *algos.DensestResult {
+	return algos.ApproxDensestSubgraph(g.adj, e.opts)
+}
+
+// TriangleCount returns the triangle count with its work counters.
+func (e *Engine) TriangleCount(g *Graph) *algos.TriangleResult {
+	return algos.TriangleCount(g.adj, e.opts)
+}
+
+// PageRank iterates to convergence (eps, maxIters) and returns the ranks
+// and the number of iterations.
+func (e *Engine) PageRank(g *Graph, eps float64, maxIters int) ([]float64, int) {
+	return algos.PageRank(g.adj, e.opts, eps, maxIters)
+}
+
+// PageRankIter runs one PageRank iteration (prev -> next), returning the
+// L1 change.
+func (e *Engine) PageRankIter(g *Graph, prev, next []float64) float64 {
+	return algos.PageRankIter(g.adj, e.opts, prev, next)
+}
+
+// KCliqueCount counts k-cliques (k >= 3) via recursive intersection over
+// the filter-oriented DAG — the PSAM extension the paper's §3.2 proposes.
+func (e *Engine) KCliqueCount(g *Graph, k int) int64 {
+	return algos.KCliqueCount(g.adj, e.opts, k)
+}
+
+// PersonalizedPageRank computes the personalized PageRank vector of src
+// (restart probability 1-damping), one of the local problems §3.2 notes
+// fit the regular PSAM. Returns the ranks and iterations used.
+func (e *Engine) PersonalizedPageRank(g *Graph, src uint32, damping, eps float64, maxIters int) ([]float64, int) {
+	return algos.PersonalizedPageRank(g.adj, e.opts, src, damping, eps, maxIters)
+}
+
+// KTruss computes the trussness of every edge. Note the PSAM boundary
+// the paper draws (§3.2): the Θ(m)-word output forces Θ(m) small-memory
+// state, which Stats().PeakDRAMWords will reflect.
+func (e *Engine) KTruss(g *Graph) *algos.KTrussResult {
+	return algos.KTruss(g.adj, e.opts)
+}
+
+// LocalCluster finds a low-conductance community around seed with a
+// personalized-PageRank sweep cut (a §3.2 local-clustering problem).
+func (e *Engine) LocalCluster(g *Graph, seed uint32, damping float64, maxSize int) *algos.LocalClusterResult {
+	return algos.LocalCluster(g.adj, e.opts, seed, damping, maxSize)
+}

@@ -1,0 +1,54 @@
+// Quickstart: the Go rendering of Figure 4 — BFS over a graph stored in
+// (simulated) NVRAM through the semi-asymmetric engine, printing the PSAM
+// statistics that certify the run performed zero NVRAM writes.
+package main
+
+import (
+	"fmt"
+
+	"sage"
+)
+
+func main() {
+	// A web-scale-shaped graph, scaled to a laptop: 2^16 vertices with
+	// average degree ~16 (compare Table 2's davg range of 17-76).
+	g := sage.GenerateRMAT(16, 16, 1)
+	fmt.Printf("graph: n=%d, m=%d arcs (%.1f MB simulated NVRAM)\n",
+		g.NumVertices(), g.NumEdges(), float64(g.SizeWords())*8/1e6)
+
+	// The engine in Sage's configuration: graph in App-Direct NVRAM,
+	// chunked traversal, all mutable state in DRAM.
+	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
+
+	// Figure 4's algorithm.
+	parents := e.BFS(g, 0)
+
+	reached := 0
+	for _, p := range parents {
+		if p != ^uint32(0) {
+			reached++
+		}
+	}
+	fmt.Printf("BFS from 0 reached %d vertices\n", reached)
+
+	st := e.Stats()
+	fmt.Println("PSAM stats:", st)
+	if st.NVRAMWrites == 0 {
+		fmt.Println("semi-asymmetric discipline held: zero NVRAM writes")
+	}
+
+	// The same algorithm on the byte-compressed representation (§4.2.1):
+	// the result is identical, and the graph occupies far less NVRAM.
+	cg := g.Compress(64)
+	e2 := sage.NewEngine(sage.WithMode(sage.AppDirect))
+	parents2 := e2.BFS(cg, 0)
+	same := true
+	for v := range parents {
+		if (parents[v] == ^uint32(0)) != (parents2[v] == ^uint32(0)) {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("compressed graph: %.1fx smaller, identical reachability: %v\n",
+		float64(g.SizeWords())/float64(cg.SizeWords()), same)
+}

@@ -1,0 +1,183 @@
+// Package algos implements the 18 Sage graph algorithms of Table 1 on top
+// of the semi-asymmetric primitives: edgeMapChunked traversals
+// (internal/traverse), graph filters (internal/gfilter), and semi-eager
+// bucketing (internal/bucket). Every algorithm follows the Sage
+// discipline: the graph is read-only (no NVRAM writes), and mutable state
+// is O(n) words of DRAM — O(n + m/64) for the four filter-based
+// algorithms (biconnectivity, approximate set cover, triangle counting,
+// maximal matching).
+//
+// All entry points take a *Options carrying the PSAM environment and the
+// traversal strategy, so the same code runs as Sage (Chunked strategy,
+// AppDirect mode) or as the GBBS baseline (Blocked strategy, any mode) —
+// which is how the paper's Figure 1/7 configurations are realized.
+package algos
+
+import (
+	"sage/internal/frontier"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+	"sage/internal/psam"
+	"sage/internal/traverse"
+)
+
+// Infinity marks unreached vertices in distance/parent arrays.
+const Infinity = ^uint32(0)
+
+// Options configures an algorithm run.
+type Options struct {
+	// Env is the PSAM accounting environment (nil disables accounting).
+	Env *psam.Env
+	// Traverse selects the edgeMap strategy and direction optimization.
+	Traverse traverse.Options
+	// FB is the graph filter block size in edges (default 64; must match
+	// the compression block size on compressed inputs).
+	FB int
+	// Seed drives all randomized algorithms deterministically.
+	Seed uint64
+	// Eps is the approximation parameter for set cover and densest
+	// subgraph (default 0.05) and the PageRank convergence threshold
+	// scale.
+	Eps float64
+	// LDDBeta is the low-diameter decomposition parameter (default 0.2,
+	// the practical setting of §5.3).
+	LDDBeta float64
+	// KCoreFetchAdd selects the fetch-and-add k-core variant instead of
+	// the histogram variant (the ablation of §4.3.4).
+	KCoreFetchAdd bool
+	// NewFilter overrides the batch-deletion structure used by the four
+	// filtering algorithms; nil selects Sage's graph filter (§4.2). The
+	// GBBS baselines install their mutation-based packer here.
+	NewFilter FilterFactory
+	// DenseThreshold numerator for histogram density switching is fixed
+	// at m/20 as in the traversal layer.
+}
+
+// Defaults returns options with the paper's default parameters and no
+// accounting environment.
+func Defaults() *Options {
+	return &Options{
+		Traverse: traverse.Options{Strategy: traverse.Chunked},
+		FB:       64,
+		Seed:     1,
+		Eps:      0.05,
+		LDDBeta:  0.2,
+	}
+}
+
+// WithEnv returns a copy of o bound to env.
+func (o *Options) WithEnv(env *psam.Env) *Options {
+	c := *o
+	c.Env = env
+	return &c
+}
+
+// edgeMap runs the configured traversal.
+func (o *Options) edgeMap(g graph.Adj, vs *frontier.VertexSubset, ops traverse.Ops, tweak func(*traverse.Options)) *frontier.VertexSubset {
+	opt := o.Traverse
+	if tweak != nil {
+		tweak(&opt)
+	}
+	return traverse.EdgeMap(g, o.Env, vs, ops, opt)
+}
+
+// hash64 mixes x with the seed (shared by the randomized algorithms).
+func hash64(x, seed uint64) uint64 {
+	x ^= seed + 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// edgeKey canonically encodes the undirected edge {u, v} as a non-zero
+// uint64 key.
+func edgeKey(u, v uint32) uint64 {
+	lo, hi := min(u, v), max(u, v)
+	return (uint64(lo)<<32 | uint64(hi)) + 1
+}
+
+// decodeEdgeKey inverts edgeKey.
+func decodeEdgeKey(k uint64) (uint32, uint32) {
+	k--
+	return uint32(k >> 32), uint32(k)
+}
+
+// sumDegrees computes Σ deg(v) over a sparse id list.
+func sumDegrees(g graph.Adj, ids []uint32) int64 {
+	return parallel.ReduceSum(len(ids), 0, func(i int) int64 {
+		return int64(g.Degree(ids[i]))
+	})
+}
+
+// neighborCounts returns, for the sparse removal set S, how many edges
+// each remaining vertex loses: the histogram primitive of §4.3.4 with the
+// dense optimization — when Σ_{v∈S} deg(v) exceeds m/20, it switches to a
+// dense pass reading every vertex's adjacency against a membership bitmap
+// (O(m) work but O(n) memory); otherwise it gathers the neighbor multiset
+// and runs a sort-based histogram (work proportional to the frontier).
+// The keep predicate restricts counting to live vertices.
+func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bool) []parallel.KeyCount {
+	n := int(g.NumVertices())
+	sumDeg := sumDegrees(g, s)
+	if sumDeg+int64(len(s)) > int64(g.NumEdges())/20 {
+		// Dense variant.
+		inS := make([]bool, n)
+		parallel.For(len(s), 0, func(i int) { inS[s[i]] = true })
+		counts := make([]uint32, n)
+		parallel.ForBlocks(n, 64, func(w, lo, hi int) {
+			var scanned int64
+			for i := lo; i < hi; i++ {
+				v := uint32(i)
+				if inS[i] || !keep(v) {
+					continue
+				}
+				var c uint32
+				deg := g.Degree(v)
+				g.IterRange(v, 0, deg, func(_, ngh uint32, _ int32) bool {
+					if inS[ngh] {
+						c++
+					}
+					return true
+				})
+				scanned += int64(deg)
+				counts[i] = c
+			}
+			env.GraphRead(w, 0, scanned)
+			env.StateRead(w, scanned)
+		})
+		ids := parallel.PackIndex(n, func(i int) bool { return counts[i] > 0 })
+		out := make([]parallel.KeyCount, len(ids))
+		parallel.For(len(ids), 0, func(i int) {
+			out[i] = parallel.KeyCount{Key: ids[i], Count: counts[ids[i]]}
+		})
+		return out
+	}
+	// Sparse variant: gather the neighbor multiset, then histogram.
+	offs := make([]int64, len(s)+1)
+	parallel.For(len(s), 0, func(i int) { offs[i] = int64(g.Degree(s[i])) })
+	parallel.Scan(offs)
+	offs[len(s)] = sumDeg
+	keys := make([]uint32, sumDeg)
+	const drop = ^uint32(0)
+	parallel.ForWorker(len(s), 8, func(w, i int) {
+		v := s[i]
+		deg := g.Degree(v)
+		env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, deg))
+		wr := offs[i]
+		g.IterRange(v, 0, deg, func(_, ngh uint32, _ int32) bool {
+			if keep(ngh) {
+				keys[wr] = ngh
+			} else {
+				keys[wr] = drop
+			}
+			wr++
+			return true
+		})
+		env.StateWrite(w, int64(deg))
+	})
+	kept := parallel.Filter(keys, func(k uint32) bool { return k != drop })
+	return parallel.HistogramInPlace(kept)
+}

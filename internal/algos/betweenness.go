@@ -1,0 +1,98 @@
+package algos
+
+import (
+	"math"
+	"sync/atomic"
+
+	"sage/internal/frontier"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+	"sage/internal/traverse"
+)
+
+// Betweenness computes single-source betweenness centrality contributions
+// from src (Brandes' dependency accumulation, §4.3.1): a forward BFS
+// phase counts shortest paths σ per vertex level by level, and a backward
+// phase accumulates dependencies δ(v) = Σ_{w: succ(v)} σ(v)/σ(w)·(1+δ(w)).
+// Following Ligra's BC, vertices are marked visited in a vertex map
+// *after* each edgeMap round, so σ accumulates across all same-round
+// contributors; the first contributor (σ was zero) claims the vertex for
+// the output frontier. O(m) work, O(dG log n) depth, O(n) words of
+// small-memory.
+func Betweenness(g graph.Adj, o *Options, src uint32) []float64 {
+	n := g.NumVertices()
+	sigma := make([]uint64, n) // float64 bits
+	level := make([]uint32, n)
+	visited := make([]bool, n)
+	o.Env.Alloc(3 * int64(n))
+	defer o.Env.Free(3 * int64(n))
+
+	parallel.StoreFloat64(&sigma[src], 1)
+	visited[src] = true
+	parallel.Fill(level, Infinity)
+	level[src] = 0
+
+	fwd := traverse.Ops{
+		Update: func(s, d uint32, _ int32) bool {
+			old := parallel.LoadFloat64(&sigma[d])
+			parallel.StoreFloat64(&sigma[d], old+parallel.LoadFloat64(&sigma[s]))
+			return old == 0
+		},
+		UpdateAtomic: func(s, d uint32, _ int32) bool {
+			return addFloat64Old(&sigma[d], parallel.LoadFloat64(&sigma[s])) == 0
+		},
+		Cond: func(d uint32) bool { return !visited[d] },
+	}
+
+	var rounds [][]uint32
+	fr := frontier.Single(n, src)
+	round := uint32(0)
+	for !fr.IsEmpty() {
+		rounds = append(rounds, append([]uint32(nil), fr.Sparse()...))
+		fr = o.edgeMap(g, fr, fwd, nil)
+		round++
+		fr.ForEach(func(v uint32) {
+			visited[v] = true
+			level[v] = round
+		})
+	}
+
+	// Backward phase: pull-based accumulation level by level from the
+	// deepest frontier; each vertex owns its δ so no atomics are needed.
+	delta := make([]float64, n)
+	o.Env.Alloc(int64(n))
+	defer o.Env.Free(int64(n))
+	for l := len(rounds) - 2; l >= 0; l-- {
+		lvl := uint32(l)
+		ids := rounds[l]
+		parallel.ForWorker(len(ids), 8, func(w, i int) {
+			v := ids[i]
+			deg := g.Degree(v)
+			o.Env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, deg))
+			sv := parallel.LoadFloat64(&sigma[v])
+			var acc float64
+			g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
+				if level[u] == lvl+1 {
+					acc += sv / parallel.LoadFloat64(&sigma[u]) * (1 + delta[u])
+				}
+				return true
+			})
+			o.Env.StateRead(w, int64(deg))
+			delta[v] = acc
+		})
+	}
+	delta[src] = 0
+	return delta
+}
+
+// addFloat64Old atomically adds delta to the float64 bits at p, returning
+// the previous value.
+func addFloat64Old(p *uint64, delta float64) float64 {
+	for {
+		old := atomic.LoadUint64(p)
+		of := math.Float64frombits(old)
+		if atomic.CompareAndSwapUint64(p, old, math.Float64bits(of+delta)) {
+			return of
+		}
+	}
+}

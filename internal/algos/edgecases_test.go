@@ -1,0 +1,244 @@
+package algos
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/refalgo"
+)
+
+func TestAlgorithmsOnTinyGraphs(t *testing.T) {
+	single := graph.FromEdges(1, nil, graph.BuildOpts{})
+	pair := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}, graph.BuildOpts{Symmetrize: true})
+	isolated := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}}, graph.BuildOpts{Symmetrize: true})
+
+	for name, g := range map[string]*graph.Graph{
+		"single": single, "pair": pair, "isolated": isolated,
+	} {
+		o := opts()
+		parents := BFS(g, o, 0)
+		if parents[0] != 0 {
+			t.Fatalf("%s: bfs source", name)
+		}
+		labels := Connectivity(g, o)
+		if len(labels) != int(g.NumVertices()) {
+			t.Fatalf("%s: connectivity", name)
+		}
+		if in := MIS(g, o); len(in) > 0 && !anyTrue(in) && g.NumVertices() > 0 {
+			t.Fatalf("%s: empty MIS", name)
+		}
+		core := KCore(g, o)
+		for v, k := range core {
+			if k > g.Degree(uint32(v)) {
+				t.Fatalf("%s: coreness exceeds degree", name)
+			}
+		}
+		if tc := TriangleCount(g, o); tc.Count != 0 {
+			t.Fatalf("%s: phantom triangles", name)
+		}
+		forest := SpanningForest(g, o)
+		_ = forest
+		res := Biconnectivity(g, o)
+		if len(res.Label) != int(g.NumVertices()) {
+			t.Fatalf("%s: biconnectivity", name)
+		}
+	}
+}
+
+func anyTrue(b []bool) bool {
+	for _, v := range b {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBFSFromUnconnectedSource(t *testing.T) {
+	// Source in the small component: nothing in the big one is reached.
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+	}, graph.BuildOpts{Symmetrize: true})
+	parents := BFS(g, opts(), 0)
+	if parents[1] == Infinity || parents[2] != Infinity {
+		t.Fatal("reachability wrong across components")
+	}
+}
+
+func TestBellmanFordNegativeCycle(t *testing.T) {
+	// A negative undirected edge is a negative 2-cycle: Bellman-Ford must
+	// report -inf for everything reachable through it.
+	g := graph.FromWeightedEdges(4, []graph.WEdge{
+		{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: -5}, {U: 2, V: 3, W: 1},
+	}, graph.BuildOpts{Symmetrize: true})
+	want := refalgo.BellmanFord(g, 0)
+	got := BellmanFord(g, opts(), 0)
+	for v := range want {
+		gotNeg := got[v] == NegInf
+		wantNeg := want[v] == -int64(1)<<63+1 || want[v] < -(int64(1)<<40) // MinInt64 marker
+		if gotNeg != wantNeg {
+			t.Fatalf("vertex %d: got %d, ref %d", v, got[v], want[v])
+		}
+	}
+	// At minimum, the cycle's endpoints diverge.
+	if got[1] != NegInf || got[2] != NegInf {
+		t.Fatal("negative cycle not detected")
+	}
+}
+
+func TestConnectivityQuick(t *testing.T) {
+	f := func(raw []uint16, nSeed uint8) bool {
+		n := uint32(nSeed)%100 + 2
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: uint32(raw[i]) % n, V: uint32(raw[i+1]) % n})
+		}
+		g := graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+		return refalgo.SameComponents(refalgo.Components(g, 0), Connectivity(g, opts()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCoreQuick(t *testing.T) {
+	f := func(raw []uint16, nSeed uint8) bool {
+		n := uint32(nSeed)%60 + 2
+		var edges []graph.Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{U: uint32(raw[i]) % n, V: uint32(raw[i+1]) % n})
+		}
+		g := graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+		want := refalgo.Coreness(g)
+		got := KCore(g, opts())
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISSeedsIndependent(t *testing.T) {
+	// Different seeds give different (but always valid) sets.
+	g := gen.RMAT(9, 10, 77)
+	sizes := map[int]bool{}
+	for seed := uint64(1); seed <= 4; seed++ {
+		o := opts()
+		o.Seed = seed
+		in := MIS(g, o)
+		count := 0
+		for v := uint32(0); v < g.NumVertices(); v++ {
+			if in[v] {
+				count++
+				for _, u := range g.Neighbors(v) {
+					if in[u] {
+						t.Fatalf("seed %d: invalid MIS", seed)
+					}
+				}
+			}
+		}
+		sizes[count] = true
+	}
+	if len(sizes) < 2 {
+		t.Log("all seeds produced the same MIS size (possible but unusual)")
+	}
+}
+
+func TestWBFSManySources(t *testing.T) {
+	g := gen.AddUniformWeights(gen.RMAT(8, 10, 5), 3)
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 5; trial++ {
+		src := r.Uint32N(g.NumVertices())
+		want := refalgo.Dijkstra(g, src)
+		got := WBFS(g, opts(), src)
+		for v := uint32(0); v < g.NumVertices(); v++ {
+			if want[v] == int64(^uint64(0)>>1) {
+				continue
+			}
+			if want[v] < int64(^uint32(0)) && int64(got[v]) != want[v] {
+				t.Fatalf("src %d: dist[%d]=%d want %d", src, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDirectionOptimizationEquivalence(t *testing.T) {
+	// Forced-dense and forced-sparse BFS agree with the reference on a
+	// graph whose frontier sizes cross the m/20 threshold both ways.
+	g := gen.RMAT(11, 24, 9)
+	want := refalgo.BFSDistances(g, 0)
+	for _, force := range []string{"auto", "dense", "sparse"} {
+		o := opts()
+		switch force {
+		case "dense":
+			o.Traverse.ForceDense = true
+		case "sparse":
+			o.Traverse.ForceSparse = true
+		}
+		parents := BFS(g, o, 0)
+		for v := uint32(0); v < g.NumVertices(); v++ {
+			if (parents[v] == Infinity) != (want[v] == ^uint32(0)) {
+				t.Fatalf("%s: mismatch at %d", force, v)
+			}
+		}
+	}
+}
+
+func TestSpannerOnDisconnectedGraph(t *testing.T) {
+	g := graph.FromEdges(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4},
+	}, graph.BuildOpts{Symmetrize: true})
+	edges := Spanner(g, opts(), 2)
+	h := graph.FromEdges(8, edges, graph.BuildOpts{Symmetrize: true})
+	if !refalgo.SameComponents(refalgo.Components(g, 0), refalgo.Components(h, 0)) {
+		t.Fatal("spanner changed the component structure")
+	}
+}
+
+func TestColoringOnBipartite(t *testing.T) {
+	// K_{a,b} is 2-chromatic; greedy-by-degree should not exceed a+... but
+	// must at least be proper and within Δ+1.
+	g := gen.CompleteBipartite(5, 7)
+	colors := Coloring(g, opts())
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if colors[u] == colors[v] {
+				t.Fatal("improper coloring")
+			}
+		}
+	}
+	maxC := uint32(0)
+	for _, c := range colors {
+		maxC = max(maxC, c)
+	}
+	if maxC > g.MaxDegree() {
+		t.Fatalf("used %d colors, Δ=%d", maxC+1, g.MaxDegree())
+	}
+}
+
+func TestDensestSubgraphPlantedClique(t *testing.T) {
+	// Sparse background + planted K16: density must find ~(16-1)/2 = 7.5.
+	edges := completeEdges(16)
+	r := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 800; i++ {
+		u := 16 + r.Uint32N(400)
+		v := 16 + r.Uint32N(400)
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g := graph.FromEdges(416, edges, graph.BuildOpts{Symmetrize: true})
+	o := opts()
+	o.Eps = 0.01
+	res := ApproxDensestSubgraph(g, o)
+	if res.Density < 7.5/(2*(1+o.Eps)) {
+		t.Fatalf("missed the planted clique: density %.2f", res.Density)
+	}
+}

@@ -1,0 +1,210 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"sage/internal/compress"
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/psam"
+	"sage/internal/refalgo"
+)
+
+func TestKCliqueMatchesTriangles(t *testing.T) {
+	for name, g := range battery() {
+		want := refalgo.Triangles(g)
+		got := KCliqueCount(g, opts(), 3)
+		if got != want {
+			t.Fatalf("%s: 3-cliques %d != triangles %d", name, got, want)
+		}
+	}
+}
+
+func TestKCliqueMatchesBruteForce(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat-small": gen.RMAT(7, 8, 3),
+		"er-small":   gen.ErdosRenyi(100, 600, 5),
+		"k6": graph.FromEdges(6, completeEdges(6),
+			graph.BuildOpts{Symmetrize: true}),
+	}
+	for name, g := range graphs {
+		for k := 3; k <= 5; k++ {
+			want := refalgo.KCliques(g, k)
+			got := KCliqueCount(g, opts(), k)
+			if got != want {
+				t.Fatalf("%s k=%d: got %d want %d", name, k, got, want)
+			}
+		}
+	}
+}
+
+func TestKCliqueCompleteGraph(t *testing.T) {
+	// K_n has C(n, k) k-cliques.
+	g := graph.FromEdges(8, completeEdges(8), graph.BuildOpts{Symmetrize: true})
+	binom := func(n, k int64) int64 {
+		r := int64(1)
+		for i := int64(0); i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for k := 3; k <= 6; k++ {
+		got := KCliqueCount(g, opts(), k)
+		if got != binom(8, int64(k)) {
+			t.Fatalf("k=%d: got %d want %d", k, got, binom(8, int64(k)))
+		}
+	}
+}
+
+func TestKCliqueNoNVRAMWrites(t *testing.T) {
+	g := gen.RMAT(9, 10, 7)
+	o := optsEnv()
+	KCliqueCount(g, o, 4)
+	if o.Env.Totals().NVRAMWrites != 0 {
+		t.Fatal("k-clique wrote to NVRAM")
+	}
+}
+
+func TestPersonalizedPageRankMatchesSerial(t *testing.T) {
+	for name, g := range battery() {
+		want := refalgo.PersonalizedPageRank(g, 0, 0.85, 1e-12, 80)
+		got, _ := PersonalizedPageRank(g, opts(), 0, 0.85, 1e-12, 80)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("%s: ppr[%d]=%v want %v", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPersonalizedPageRankLocalized(t *testing.T) {
+	// On a chain, mass should concentrate near the source.
+	g := gen.Chain(100)
+	pr, _ := PersonalizedPageRank(g, opts(), 50, 0.85, 1e-10, 200)
+	if pr[50] < pr[49] || pr[50] < pr[51] {
+		t.Fatal("source should hold the most mass")
+	}
+	if pr[49] < pr[0] || pr[51] < pr[99] {
+		t.Fatal("mass should decay with distance from the source")
+	}
+}
+
+func TestKTrussKnownGraphs(t *testing.T) {
+	// Triangle: every edge in exactly 1 triangle -> trussness 3.
+	tri := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}},
+		graph.BuildOpts{Symmetrize: true})
+	res := KTruss(tri, opts())
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {0, 2}} {
+		tr, ok := res.EdgeTrussness(e[0], e[1])
+		if !ok || tr != 3 {
+			t.Fatalf("triangle edge %v trussness %d want 3", e, tr)
+		}
+	}
+	// K5: every edge in 3 triangles -> trussness 5.
+	k5 := graph.FromEdges(5, completeEdges(5), graph.BuildOpts{Symmetrize: true})
+	res = KTruss(k5, opts())
+	for u := uint32(0); u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			tr, _ := res.EdgeTrussness(u, v)
+			if tr != 5 {
+				t.Fatalf("K5 edge (%d,%d) trussness %d want 5", u, v, tr)
+			}
+		}
+	}
+	// Chain: no triangles -> trussness 2 everywhere.
+	ch := gen.Chain(10)
+	res = KTruss(ch, opts())
+	for v := uint32(0); v+1 < 10; v++ {
+		tr, _ := res.EdgeTrussness(v, v+1)
+		if tr != 2 {
+			t.Fatalf("chain edge trussness %d want 2", tr)
+		}
+	}
+}
+
+func TestKTrussMatchesSerial(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"rmat":   gen.RMAT(7, 8, 11),
+		"er":     gen.ErdosRenyi(120, 700, 13),
+		"bowtie": graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2}}, graph.BuildOpts{Symmetrize: true}),
+	}
+	for name, g := range graphs {
+		want := refalgo.Trussness(g)
+		res := KTruss(g, opts())
+		for e, wt := range want {
+			gt, ok := res.EdgeTrussness(e[0], e[1])
+			if !ok {
+				t.Fatalf("%s: edge %v missing", name, e)
+			}
+			if gt != wt {
+				t.Fatalf("%s: edge %v trussness %d want %d", name, e, gt, wt)
+			}
+		}
+	}
+}
+
+func TestKTrussSpaceIsThetaM(t *testing.T) {
+	// The §3.2 boundary demonstration: k-truss state is Θ(m) words,
+	// unlike the O(n + m/64) of the Table 1 algorithms.
+	g := gen.RMAT(11, 16, 17)
+	env := psam.NewEnv(psam.AppDirect)
+	o := opts().WithEnv(env)
+	KTruss(g, o)
+	peak := env.Space.Peak()
+	if peak < int64(g.NumEdges())/2 {
+		t.Fatalf("k-truss peak %d words should be Theta(m) (m=%d)", peak, g.NumEdges())
+	}
+	if env.Totals().NVRAMWrites != 0 {
+		t.Fatal("k-truss wrote to NVRAM (state should be DRAM)")
+	}
+}
+
+// completeEdges returns the edges of K_n.
+func completeEdges(n uint32) []graph.Edge {
+	var edges []graph.Edge
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	return edges
+}
+
+func TestWBFSOnWeightedCompressed(t *testing.T) {
+	// Weighted byte-compressed graphs (the paper runs wBFS on compressed
+	// ClueWeb): distances must match Dijkstra on the uncompressed graph.
+	g := gen.AddUniformWeights(gen.RMAT(9, 10, 23), 9)
+	cg := compress.Compress(g, 64)
+	if !cg.Weighted() {
+		t.Fatal("compression dropped weights")
+	}
+	want := refalgo.Dijkstra(g, 0)
+	got := WBFS(cg, opts(), 0)
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if want[v] == math.MaxInt64 {
+			if got[v] != Infinity {
+				t.Fatalf("vertex %d should be unreachable", v)
+			}
+			continue
+		}
+		if int64(got[v]) != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBellmanFordOnWeightedCompressed(t *testing.T) {
+	g := gen.AddUniformWeights(gen.RMAT(8, 10, 29), 3)
+	cg := compress.Compress(g, 64)
+	want := refalgo.Dijkstra(g, 0)
+	got := BellmanFord(cg, opts(), 0)
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if want[v] == math.MaxInt64 {
+			continue
+		}
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}

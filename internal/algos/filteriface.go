@@ -1,0 +1,45 @@
+package algos
+
+import (
+	"sage/internal/frontier"
+	"sage/internal/gfilter"
+	"sage/internal/graph"
+	"sage/internal/psam"
+)
+
+// EdgeFilter abstracts the batch-deletion structure used by the four
+// filtering algorithms (biconnectivity, approximate set cover, triangle
+// counting, maximal matching). Sage's implementation is the bit-packed
+// DRAM graph filter (§4.2); the GBBS baseline implementation packs the
+// adjacency arrays in place, which — on NVRAM — turns every deletion into
+// expensive NVRAM writes. Swapping the factory is how the Figure 1/7
+// experiments compare the two designs over identical algorithm code.
+type EdgeFilter interface {
+	graph.Adj
+	// PackVertex removes v's active edges failing pred, returning the new
+	// degree and the number removed.
+	PackVertex(worker int, v uint32, pred func(u, ngh uint32) bool) (uint32, int64)
+	// EdgeMapPack packs every vertex of vs, returning the subset and the
+	// new degrees.
+	EdgeMapPack(vs *frontier.VertexSubset, pred func(u, ngh uint32) bool) (*frontier.VertexSubset, []uint32)
+	// FilterEdges packs all vertices and returns the remaining edge count.
+	FilterEdges(pred func(u, ngh uint32) bool) int64
+	// ActiveEdges returns the current active-edge count.
+	ActiveEdges() int64
+	// IterActive visits v's active neighbors in order.
+	IterActive(worker int, v uint32, fn func(ngh uint32) bool)
+	// ActiveList materializes v's active neighbors into dst, accounting
+	// decode work.
+	ActiveList(worker int, v uint32, dst []uint32, stats *gfilter.IntersectStats) []uint32
+}
+
+// FilterFactory builds an EdgeFilter over a graph.
+type FilterFactory func(g graph.Adj, fb int, env *psam.Env) EdgeFilter
+
+// newFilter builds the configured filter (Sage's gfilter by default).
+func (o *Options) newFilter(g graph.Adj) EdgeFilter {
+	if o.NewFilter != nil {
+		return o.NewFilter(g, o.FB, o.Env)
+	}
+	return gfilter.New(g, o.FB, o.Env)
+}

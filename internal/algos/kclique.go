@@ -1,0 +1,108 @@
+package algos
+
+import (
+	"sage/internal/gfilter"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// KCliqueCount counts k-cliques (k >= 3). The paper's applicability
+// discussion (§3.2) singles this problem out as a natural PSAM extension
+// of the filtering technique: edges are oriented from lower to higher
+// rank through the graph filter exactly as in triangle counting, and
+// cliques are enumerated by recursively intersecting out-neighborhoods
+// within the resulting DAG. Mutable state is the filter plus O(k·Δ)
+// words of per-worker candidate buffers — no NVRAM writes.
+// KCliqueCount(g, o, 3) equals TriangleCount(g, o).Count.
+func KCliqueCount(g graph.Adj, o *Options, k int) int64 {
+	if k < 3 {
+		panic("algos: KCliqueCount requires k >= 3")
+	}
+	rankLess := func(a, b uint32) bool {
+		da, db := g.Degree(a), g.Degree(b)
+		if da != db {
+			return da < db
+		}
+		return a < b
+	}
+	f := o.newFilter(g)
+	f.FilterEdges(func(u, v uint32) bool { return rankLess(u, v) })
+
+	n := int(g.NumVertices())
+	shards := make([]cliqueShard, parallel.MaxWorkers)
+	for i := range shards {
+		shards[i].levels = make([][]uint32, k)
+	}
+	parallel.ForWorker(n, 1, func(w, i int) {
+		sh := &shards[w]
+		v := uint32(i)
+		if f.Degree(v) == 0 {
+			return
+		}
+		sh.levels[0] = f.ActiveList(w, v, sh.levels[0], &sh.stats)
+		sh.count += sh.extend(f, w, 1, k-1)
+	})
+	var total int64
+	for i := range shards {
+		total += shards[i].count
+	}
+	return total
+}
+
+// cliqueShard is the per-worker recursion state: levels[d] holds the
+// candidate set (vertices completing the current partial clique) at
+// recursion depth d.
+type cliqueShard struct {
+	count  int64
+	stats  gfilter.IntersectStats
+	levels [][]uint32
+	nghs   []uint32
+	_      [16]byte
+}
+
+// extend counts cliques completed by choosing `remaining` more vertices
+// from levels[depth-1], intersecting with each candidate's
+// out-neighborhood in turn.
+func (sh *cliqueShard) extend(f EdgeFilter, worker, depth, remaining int) int64 {
+	cands := sh.levels[depth-1]
+	if remaining == 1 {
+		return int64(len(cands))
+	}
+	var total int64
+	for _, u := range cands {
+		if f.Degree(u) == 0 {
+			continue
+		}
+		sh.nghs = f.ActiveList(worker, u, sh.nghs, &sh.stats)
+		next := sh.levels[depth][:0]
+		next = intersectInto(next, cands, sh.nghs, &sh.stats)
+		sh.levels[depth] = next
+		if len(next) >= remaining-1 {
+			total += sh.extend(f, worker, depth+1, remaining-1)
+		}
+	}
+	return total
+}
+
+// intersectInto appends the intersection of the two sorted lists to dst.
+func intersectInto(dst, a, b []uint32, stats *gfilter.IntersectStats) []uint32 {
+	i, j := 0, 0
+	var steps int64
+	for i < len(a) && j < len(b) {
+		steps++
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	if stats != nil {
+		stats.MergeSteps += steps
+	}
+	return dst
+}

@@ -1,0 +1,102 @@
+package algos
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sage/internal/graph"
+)
+
+// twoCommunities builds two dense clusters joined by a single edge.
+func twoCommunities(size uint32, seed uint64) *graph.Graph {
+	r := rand.New(rand.NewPCG(seed, 1))
+	var edges []graph.Edge
+	dense := func(base uint32) {
+		for i := uint32(0); i < size; i++ {
+			for j := 0; j < 6; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + r.Uint32N(size)})
+			}
+		}
+	}
+	dense(0)
+	dense(size)
+	edges = append(edges, graph.Edge{U: 0, V: size})
+	return graph.FromEdges(2*size, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+func TestLocalClusterFindsCommunity(t *testing.T) {
+	const size = 64
+	g := twoCommunities(size, 3)
+	res := LocalCluster(g, opts(), 5, 0.85, 0)
+	if res.Conductance > 0.2 {
+		t.Fatalf("conductance %.3f too high for a planted community", res.Conductance)
+	}
+	// Most members must come from the seed's community.
+	inside := 0
+	for _, v := range res.Members {
+		if v < size {
+			inside++
+		}
+	}
+	if frac := float64(inside) / float64(len(res.Members)); frac < 0.9 {
+		t.Fatalf("only %.0f%% of cluster members in the seed's community", 100*frac)
+	}
+}
+
+func TestLocalClusterConductanceIsCorrect(t *testing.T) {
+	g := twoCommunities(32, 9)
+	res := LocalCluster(g, opts(), 1, 0.85, 0)
+	// Recompute conductance of the returned set exactly.
+	inS := map[uint32]bool{}
+	for _, v := range res.Members {
+		inS[v] = true
+	}
+	var vol, cut int64
+	for _, v := range res.Members {
+		vol += int64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if !inS[u] {
+				cut++
+			}
+		}
+	}
+	denom := min(vol, int64(g.NumEdges())-vol)
+	want := float64(cut) / float64(denom)
+	if diff := res.Conductance - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("reported conductance %.6f, recomputed %.6f", res.Conductance, want)
+	}
+}
+
+func TestLocalClusterMaxSize(t *testing.T) {
+	g := twoCommunities(64, 5)
+	res := LocalCluster(g, opts(), 0, 0.85, 10)
+	if len(res.Members) > 10 {
+		t.Fatalf("cluster size %d exceeds bound", len(res.Members))
+	}
+}
+
+func TestLocalClusterNoNVRAMWrites(t *testing.T) {
+	g := twoCommunities(32, 7)
+	o := optsEnv()
+	LocalCluster(g, o, 0, 0.85, 0)
+	if o.Env.Totals().NVRAMWrites != 0 {
+		t.Fatal("local clustering wrote to NVRAM")
+	}
+}
+
+func TestTriangleCountOrderingSensitivity(t *testing.T) {
+	// Appendix D.1: the input ordering changes the decode-work profile of
+	// triangle counting but never the count.
+	g := twoCommunities(128, 11)
+	base := TriangleCount(g, opts())
+	for name, perm := range map[string][]uint32{
+		"degree": g.DegreeOrder(),
+		"random": g.RandomOrder(13),
+	} {
+		h := g.Relabel(perm)
+		res := TriangleCount(h, opts())
+		if res.Count != base.Count {
+			t.Fatalf("%s ordering changed the count: %d vs %d", name, res.Count, base.Count)
+		}
+	}
+}

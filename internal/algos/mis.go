@@ -1,0 +1,103 @@
+package algos
+
+import (
+	"sync/atomic"
+
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// Vertex decision states of the rootset algorithms (MIS, coloring).
+const (
+	stateUndecided uint32 = iota
+	stateIn
+	stateOut
+)
+
+// MIS computes a maximal independent set with the rootset-based greedy
+// algorithm (§4.3.3, after Blelloch–Fineman–Shun): vertices carry random
+// priorities; a vertex joins the MIS when every higher-priority neighbor
+// has been decided and none of them joined. The result equals the serial
+// greedy MIS over the priority order, which makes it deterministic in the
+// seed. O(m) expected work, O(log² n) depth whp, O(n) words.
+func MIS(g graph.Adj, o *Options) []bool {
+	n := g.NumVertices()
+	prio := parallel.Tabulate(int(n), func(i int) uint64 {
+		return hash64(uint64(i), o.Seed)<<20 | uint64(i)
+	})
+	earlier := func(a, b uint32) bool { return prio[a] < prio[b] }
+
+	state := make([]uint32, n)
+	count := make([]int32, n) // undecided higher-priority neighbors
+	o.Env.Alloc(4 * int64(n))
+	defer o.Env.Free(4 * int64(n))
+
+	parallel.ForBlocks(int(n), 64, func(w, lo, hi int) {
+		var scanned int64
+		for i := lo; i < hi; i++ {
+			v := uint32(i)
+			var c int32
+			deg := g.Degree(v)
+			g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
+				if earlier(u, v) {
+					c++
+				}
+				return true
+			})
+			scanned += int64(deg)
+			count[i] = c
+		}
+		o.Env.GraphRead(w, 0, scanned)
+		o.Env.StateWrite(w, int64(hi-lo))
+	})
+
+	// Initial rootset: undecided vertices with no earlier neighbors.
+	roots := parallel.PackIndex(int(n), func(i int) bool { return count[i] == 0 })
+	for len(roots) > 0 {
+		// Roots join the MIS; their neighbors leave. Two roots cannot be
+		// adjacent: a root has no earlier undecided neighbor, and of two
+		// adjacent roots one would be the other's earlier undecided
+		// neighbor — so the In-CAS below cannot race with another In.
+		newlyOut := make([][]uint32, parallel.Workers())
+		joined := make([]bool, len(roots))
+		parallel.ForWorker(len(roots), 4, func(w, i int) {
+			v := roots[i]
+			if !parallel.CASUint32(&state[v], stateUndecided, stateIn) {
+				return // already decided in an earlier round (stale candidate)
+			}
+			joined[i] = true
+			deg := g.Degree(v)
+			o.Env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, deg))
+			g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
+				if parallel.CASUint32(&state[u], stateUndecided, stateOut) {
+					newlyOut[w] = append(newlyOut[w], u)
+				}
+				return true
+			})
+		})
+		decided := parallel.FlattenUint32(newlyOut)
+		decided = append(decided, parallel.FilterIndex(roots, func(i int, _ uint32) bool {
+			return joined[i]
+		})...)
+		// Decided vertices release their later neighbors.
+		nextCand := make([][]uint32, parallel.Workers())
+		parallel.ForWorker(len(decided), 4, func(w, i int) {
+			v := decided[i]
+			deg := g.Degree(v)
+			o.Env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, deg))
+			g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
+				if earlier(v, u) {
+					if parallel.FetchAddInt32(&count[u], -1) == 0 &&
+						atomic.LoadUint32(&state[u]) == stateUndecided {
+						nextCand[w] = append(nextCand[w], u)
+					}
+				}
+				return true
+			})
+		})
+		roots = parallel.Filter(parallel.FlattenUint32(nextCand), func(v uint32) bool {
+			return atomic.LoadUint32(&state[v]) == stateUndecided
+		})
+	}
+	return parallel.Tabulate(int(n), func(i int) bool { return state[i] == stateIn })
+}

@@ -1,0 +1,118 @@
+package algos
+
+import (
+	"math"
+
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// pagerankDamping is the paper's damping factor (§5.3).
+const pagerankDamping = 0.85
+
+// prParallelDegree is the degree above which a vertex's neighbor
+// aggregation runs as a parallel reduction — the Sage optimization over
+// Ligra's sequential per-vertex aggregation (§4.3.5), which bounds the
+// per-iteration depth by O(log n).
+const prParallelDegree = 8192
+
+// PageRankIter performs one dense pull-based PageRank iteration from
+// prev, writing into next (both length n), and returns the L1 change.
+// O(m) work, O(log n) depth, O(n) words of small-memory per iteration.
+func PageRankIter(g graph.Adj, o *Options, prev, next []float64) float64 {
+	n := int(g.NumVertices())
+	// Pre-divide by degree so the pull only sums contributions.
+	contrib := make([]float64, n)
+	o.Env.Alloc(int64(n))
+	defer o.Env.Free(int64(n))
+	parallel.For(n, 0, func(i int) {
+		if d := g.Degree(uint32(i)); d > 0 {
+			contrib[i] = prev[i] / float64(d)
+		}
+	})
+	base := (1 - pagerankDamping) / float64(n)
+	var diffs [parallel.MaxWorkers]struct {
+		d float64
+		_ [56]byte
+	}
+	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
+		var scanned int64
+		var l1 float64
+		for i := lo; i < hi; i++ {
+			v := uint32(i)
+			deg := g.Degree(v)
+			var acc float64
+			if deg > prParallelDegree {
+				acc = aggregateParallel(g, v, deg, contrib)
+			} else {
+				g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
+					acc += contrib[u]
+					return true
+				})
+			}
+			scanned += int64(deg)
+			nv := base + pagerankDamping*acc
+			l1 += math.Abs(nv - prev[i])
+			next[i] = nv
+		}
+		o.Env.GraphRead(w, 0, scanned)
+		o.Env.StateRead(w, scanned)
+		o.Env.StateWrite(w, int64(hi-lo))
+		diffs[w].d += l1
+	})
+	var total float64
+	for i := range diffs {
+		total += diffs[i].d
+	}
+	return total
+}
+
+// aggregateParallel reduces a high-degree vertex's neighbor contributions
+// with a parallel block reduction.
+func aggregateParallel(g graph.Adj, v, deg uint32, contrib []float64) float64 {
+	nBlocks := (int(deg) + prParallelDegree - 1) / prParallelDegree
+	partial := make([]float64, nBlocks)
+	parallel.For(nBlocks, 1, func(b int) {
+		lo := uint32(b * prParallelDegree)
+		hi := min(lo+prParallelDegree, deg)
+		var acc float64
+		g.IterRange(v, lo, hi, func(_, u uint32, _ int32) bool {
+			acc += contrib[u]
+			return true
+		})
+		partial[b] = acc
+	})
+	var acc float64
+	for _, p := range partial {
+		acc += p
+	}
+	return acc
+}
+
+// PageRank iterates PageRankIter until the L1 change drops below eps
+// (default 1e-6, the paper's setting) or maxIters passes. It returns the
+// rank vector and the number of iterations run.
+func PageRank(g graph.Adj, o *Options, eps float64, maxIters int) ([]float64, int) {
+	n := int(g.NumVertices())
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	prev := make([]float64, n)
+	next := make([]float64, n)
+	o.Env.Alloc(2 * int64(n))
+	defer o.Env.Free(2 * int64(n))
+	parallel.Fill(prev, 1/float64(n))
+	iters := 0
+	for iters < maxIters {
+		diff := PageRankIter(g, o, prev, next)
+		prev, next = next, prev
+		iters++
+		if diff < eps {
+			break
+		}
+	}
+	return prev, iters
+}

@@ -1,0 +1,63 @@
+package algos
+
+import (
+	"math"
+
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// Spanner computes an O(k)-spanner (§4.3.1) with the Miller–Peng–Vladu–Xu
+// construction: run LDD with β = log n / (2k), keep every cluster's BFS
+// tree edge, and keep one edge between each pair of adjacent clusters.
+// The result has expected size O(n^(1+1/k)) and preserves distances within
+// O(k). With the paper's default k = ⌈log₂ n⌉ the spanner has O(n) edges.
+// O(m) expected work, O(k log n) depth whp.
+func Spanner(g graph.Adj, o *Options, k int) []graph.Edge {
+	n := g.NumVertices()
+	if k <= 0 {
+		k = int(math.Ceil(math.Log2(float64(max(n, 2)))))
+	}
+	beta := math.Log(float64(max(n, 2))) / (2 * float64(k))
+	ldd := LDD(g, o, beta, o.Seed)
+
+	// Tree edges.
+	treeIdx := parallel.PackIndex(int(n), func(i int) bool {
+		p := ldd.Parent[i]
+		return p != Infinity && p != uint32(i)
+	})
+	out := make([]graph.Edge, len(treeIdx))
+	parallel.For(len(treeIdx), 0, func(i int) {
+		v := treeIdx[i]
+		out[i] = graph.Edge{U: ldd.Parent[v], V: v}
+	})
+
+	// One witness edge per adjacent cluster pair, selected with a
+	// concurrent hash map keyed by the canonical cluster pair.
+	inter := CountInterCluster(g, o, ldd.Cluster)
+	if inter == 0 {
+		return out
+	}
+	witness := parallel.NewHashMap64(int(inter) + 1)
+	o.Env.Alloc(4 * (inter + 1))
+	defer o.Env.Free(4 * (inter + 1))
+	parallel.ForBlocks(int(n), 64, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := uint32(i)
+			cv := ldd.Cluster[v]
+			g.IterRange(v, 0, g.Degree(v), func(_, u uint32, _ int32) bool {
+				cu := ldd.Cluster[u]
+				if cu != cv {
+					witness.InsertMin(edgeKey(cu, cv), edgeKey(v, u))
+					o.Env.StateWrite(w, 1)
+				}
+				return true
+			})
+		}
+	})
+	witness.ForEach(func(_, val uint64) {
+		u, v := decodeEdgeKey(val)
+		out = append(out, graph.Edge{U: u, V: v})
+	})
+	return out
+}

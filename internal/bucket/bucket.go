@@ -1,0 +1,289 @@
+// Package bucket implements the Julienne bucketing structure in its
+// semi-asymmetric form (Appendix B): a dynamic mapping from vertices to
+// integer priorities supporting bulk priority updates and extraction of
+// the next non-empty bucket. Following Julienne's practical variant, a
+// constant number (127) of "open" buckets covering the priorities nearest
+// the processing frontier are materialized, with all other vertices parked
+// in an overflow bucket that is re-bucketed when the window is exhausted.
+//
+// Deletion is semi-eager (Appendix B): moved vertices stay in their old
+// bucket's array as stale entries, each bucket tracks its dead count, and
+// a bucket is physically packed once dead entries outnumber live ones —
+// this bounds the structure's small-memory footprint by O(n) words, where
+// the fully lazy variant would need O(#updates) = O(m).
+package bucket
+
+import (
+	"sync/atomic"
+
+	"sage/internal/parallel"
+)
+
+// Order selects whether NextBucket yields smallest or largest priorities
+// first (wBFS and k-core peel increasing, set cover decreasing).
+type Order int
+
+const (
+	Increasing Order = iota
+	Decreasing
+)
+
+// Null is the priority marking a vertex as finalized or absent.
+const Null = ^uint32(0)
+
+// numOpen is the number of materialized open buckets (Julienne uses 127
+// plus one overflow bucket).
+const numOpen = 127
+
+// Buckets maps vertices to integer priorities organized into buckets.
+type Buckets struct {
+	order Order
+	prio  []uint32 // authoritative priority per vertex; Null = finalized
+	base  uint32   // priority represented by open slot 0
+	open  [numOpen][]uint32
+	dead  [numOpen]atomic.Int64
+	over  []uint32 // vertices whose priority lies outside the window
+	cur   int      // next open slot to inspect
+	live  int64    // non-finalized vertices
+}
+
+// New builds buckets over the vertices with initial priorities prio
+// (ownership is taken). Vertices with priority Null are absent.
+func New(prio []uint32, order Order) *Buckets {
+	b := &Buckets{order: order, prio: prio}
+	b.live = int64(parallel.Count(len(prio), 0, func(i int) bool { return prio[i] != Null }))
+	b.rebase()
+	return b
+}
+
+// Live returns the number of non-finalized vertices.
+func (b *Buckets) Live() int { return int(b.live) }
+
+// Priority returns the current priority of v (Null if finalized).
+func (b *Buckets) Priority(v uint32) uint32 { return b.prio[v] }
+
+// openIndex maps priority p to its open slot, or -1 for overflow.
+// Priorities behind the window (possible only via clamping races) map to
+// the current slot.
+func (b *Buckets) openIndex(p uint32) int {
+	if b.order == Increasing {
+		switch {
+		case p < b.base:
+			return b.cur
+		case p-b.base < numOpen:
+			return int(p - b.base)
+		default:
+			return -1
+		}
+	}
+	switch {
+	case p > b.base:
+		return b.cur
+	case b.base-p < numOpen:
+		return int(b.base - p)
+	default:
+		return -1
+	}
+}
+
+// slotPriority is the priority represented by open slot i.
+func (b *Buckets) slotPriority(i int) uint32 {
+	if b.order == Increasing {
+		return b.base + uint32(i)
+	}
+	return b.base - uint32(i)
+}
+
+// rebase rebuilds the open window around the extreme live priority and
+// redistributes every live vertex.
+func (b *Buckets) rebase() {
+	for i := range b.open {
+		b.open[i] = b.open[i][:0]
+		b.dead[i].Store(0)
+	}
+	b.over = b.over[:0]
+	b.cur = 0
+	if b.live == 0 {
+		return
+	}
+	if b.order == Increasing {
+		b.base = parallel.Reduce(len(b.prio), 0, Null, func(i int) uint32 {
+			return b.prio[i]
+		}, func(x, y uint32) uint32 { return min(x, y) })
+	} else {
+		b.base = parallel.Reduce(len(b.prio), 0, uint32(0), func(i int) uint32 {
+			if b.prio[i] == Null {
+				return 0
+			}
+			return b.prio[i]
+		}, func(x, y uint32) uint32 { return max(x, y) })
+	}
+	for v, p := range b.prio {
+		if p == Null {
+			continue
+		}
+		if i := b.openIndex(p); i >= 0 {
+			b.open[i] = append(b.open[i], uint32(v))
+		} else {
+			b.over = append(b.over, uint32(v))
+		}
+	}
+}
+
+// NextBucket extracts the next non-empty bucket in priority order,
+// finalizing its vertices (their priority becomes Null). It returns the
+// bucket's priority and its live vertices; ok is false when nothing
+// remains.
+func (b *Buckets) NextBucket() (prio uint32, vertices []uint32, ok bool) {
+	for b.live > 0 {
+		for b.cur < numOpen {
+			i := b.cur
+			want := b.slotPriority(i)
+			arr := b.open[i]
+			if len(arr) == 0 {
+				b.cur++
+				continue
+			}
+			out := parallel.Filter(arr, func(v uint32) bool { return b.prio[v] == want })
+			b.open[i] = arr[:0]
+			b.dead[i].Store(0)
+			if len(out) == 0 {
+				b.cur++
+				continue
+			}
+			parallel.For(len(out), 0, func(j int) { b.prio[out[j]] = Null })
+			b.live -= int64(len(out))
+			return want, out, true
+		}
+		b.rebase()
+	}
+	return 0, nil, false
+}
+
+// Update changes the priority of v to p (serial variant).
+func (b *Buckets) Update(v, p uint32) {
+	old := b.prio[v]
+	if old == p {
+		return
+	}
+	if old == Null {
+		b.live++
+	} else if i := b.openIndex(old); i >= 0 {
+		b.dead[i].Add(1)
+	}
+	if p == Null {
+		b.prio[v] = Null
+		b.live--
+		b.packStale()
+		return
+	}
+	i := b.openIndex(p)
+	if i < 0 {
+		b.prio[v] = p
+		b.over = append(b.over, v)
+		b.packStale()
+		return
+	}
+	b.prio[v] = b.slotPriority(i)
+	b.open[i] = append(b.open[i], v)
+	b.packStale()
+}
+
+// UpdateBatch applies priority updates ids[i] -> prios[i] in bulk. The
+// ids must be distinct within one batch (the algorithms produce them from
+// histograms or deduplicated frontiers). Updates are grouped by
+// destination slot with a parallel sort so per-slot appends are
+// race-free.
+func (b *Buckets) UpdateBatch(ids, prios []uint32) {
+	if len(ids) == 0 {
+		return
+	}
+	if len(ids) != len(prios) {
+		panic("bucket: ids/prios length mismatch")
+	}
+	const overSlot = numOpen
+	type upd struct{ slot, v, p uint32 }
+	ups := make([]upd, 0, len(ids))
+	var liveDelta int64
+	// Classify and account (serial transition counting is exact because
+	// ids are distinct; the loop is cheap relative to the sort below).
+	for k, v := range ids {
+		p := prios[k]
+		old := b.prio[v]
+		if old == p {
+			continue
+		}
+		if old == Null {
+			liveDelta++
+		} else if i := b.openIndex(old); i >= 0 {
+			b.dead[i].Add(1)
+		}
+		if p == Null {
+			b.prio[v] = Null
+			liveDelta--
+			continue
+		}
+		slot := uint32(overSlot)
+		if i := b.openIndex(p); i >= 0 {
+			slot = uint32(i)
+			b.prio[v] = b.slotPriority(i)
+		} else {
+			b.prio[v] = p
+		}
+		ups = append(ups, upd{slot: slot, v: v, p: p})
+	}
+	b.live += liveDelta
+	parallel.Sort(ups, func(x, y upd) bool { return x.slot < y.slot })
+	starts := parallel.PackIndex(len(ups), func(i int) bool {
+		return i == 0 || ups[i].slot != ups[i-1].slot
+	})
+	parallel.For(len(starts), 1, func(si int) {
+		lo := int(starts[si])
+		hi := len(ups)
+		if si+1 < len(starts) {
+			hi = int(starts[si+1])
+		}
+		slot := ups[lo].slot
+		if slot == overSlot {
+			return // appended serially below
+		}
+		arr := b.open[slot]
+		for k := lo; k < hi; k++ {
+			arr = append(arr, ups[k].v)
+		}
+		b.open[slot] = arr
+	})
+	if len(starts) > 0 {
+		last := int(starts[len(starts)-1])
+		if ups[last].slot == overSlot {
+			for k := last; k < len(ups); k++ {
+				b.over = append(b.over, ups[k].v)
+			}
+		}
+	}
+	b.packStale()
+}
+
+// packStale physically filters buckets whose dead entries outnumber the
+// live ones (the semi-eager rule of Appendix B).
+func (b *Buckets) packStale() {
+	for i := 0; i < numOpen; i++ {
+		d := b.dead[i].Load()
+		if d == 0 || d*2 <= int64(len(b.open[i])) {
+			continue
+		}
+		want := b.slotPriority(i)
+		b.open[i] = parallel.Filter(b.open[i], func(v uint32) bool { return b.prio[v] == want })
+		b.dead[i].Store(0)
+	}
+}
+
+// SizeWords reports the current footprint in words (priorities plus
+// bucket arrays), used by the O(n)-space assertions in the tests.
+func (b *Buckets) SizeWords() int64 {
+	s := int64(len(b.prio))/2 + int64(len(b.over))/2
+	for i := range b.open {
+		s += int64(cap(b.open[i])) / 2
+	}
+	return s
+}

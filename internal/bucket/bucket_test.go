@@ -1,0 +1,241 @@
+package bucket
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func prios(vals ...uint32) []uint32 { return vals }
+
+func TestIncreasingOrder(t *testing.T) {
+	b := New(prios(3, 1, 4, 1, 5, 9, 2, 6), Increasing)
+	var seen []uint32
+	for {
+		p, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		for range vs {
+			seen = append(seen, p)
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("extracted %d", len(seen))
+	}
+	if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] }) {
+		t.Fatalf("not increasing: %v", seen)
+	}
+}
+
+func TestDecreasingOrder(t *testing.T) {
+	b := New(prios(3, 1, 4, 1, 5), Decreasing)
+	var seen []uint32
+	for {
+		p, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		for range vs {
+			seen = append(seen, p)
+		}
+	}
+	if !sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] > seen[j] }) {
+		t.Fatalf("not decreasing: %v", seen)
+	}
+}
+
+func TestNullAbsent(t *testing.T) {
+	b := New(prios(1, Null, 2), Increasing)
+	if b.Live() != 2 {
+		t.Fatalf("live=%d", b.Live())
+	}
+	count := 0
+	for {
+		_, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		count += len(vs)
+	}
+	if count != 2 {
+		t.Fatalf("extracted %d", count)
+	}
+}
+
+func TestUpdateMovesVertex(t *testing.T) {
+	b := New(prios(10, 20, 30), Increasing)
+	b.Update(2, 15) // vertex 2 moves between 10 and 20
+	p, vs, ok := b.NextBucket()
+	if !ok || p != 10 || len(vs) != 1 || vs[0] != 0 {
+		t.Fatalf("first pop p=%d vs=%v", p, vs)
+	}
+	p, vs, ok = b.NextBucket()
+	if !ok || p != 15 || len(vs) != 1 || vs[0] != 2 {
+		t.Fatalf("second pop p=%d vs=%v", p, vs)
+	}
+}
+
+func TestUpdateBehindWindowClamps(t *testing.T) {
+	// Priorities behind the processing frontier clamp into the current
+	// bucket (the k-core floor rule): the vertex is processed promptly and
+	// extraction order never regresses.
+	b := New(prios(10, 20, 30), Increasing)
+	p, _, _ := b.NextBucket() // pops priority 10
+	if p != 10 {
+		t.Fatalf("first pop %d", p)
+	}
+	b.Update(1, 3) // behind the window; clamps to the current bucket
+	last := p
+	for {
+		q, _, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		if q < last {
+			t.Fatalf("extraction regressed: %d after %d", q, last)
+		}
+		last = q
+	}
+}
+
+func TestUpdateBatchAndOverflow(t *testing.T) {
+	// Priorities far apart force the overflow path and rebasing.
+	n := 1000
+	init := make([]uint32, n)
+	for i := range init {
+		init[i] = uint32(i * 37) // spans many windows
+	}
+	b := New(append([]uint32(nil), init...), Increasing)
+	var got []uint32
+	for {
+		p, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		for range vs {
+			got = append(got, p)
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("extracted %d of %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("overflow rebasing broke ordering")
+	}
+}
+
+func TestReinsertionAfterFinalize(t *testing.T) {
+	// Set-cover semantics: a popped (finalized) vertex re-enters.
+	b := New(prios(5, 7), Increasing)
+	p, vs, _ := b.NextBucket()
+	if p != 5 || len(vs) != 1 {
+		t.Fatalf("pop p=%d %v", p, vs)
+	}
+	b.UpdateBatch([]uint32{vs[0]}, []uint32{9})
+	var seen int
+	for {
+		_, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		seen += len(vs)
+	}
+	if seen != 2 {
+		t.Fatalf("reinserted vertex lost: %d", seen)
+	}
+}
+
+func TestKCoreLikePeeling(t *testing.T) {
+	// Simulated peeling: priorities only decrease (clamped at current k);
+	// NextBucket order must remain non-decreasing.
+	r := rand.New(rand.NewPCG(5, 6))
+	n := 2000
+	deg := make([]uint32, n)
+	for i := range deg {
+		deg[i] = uint32(r.IntN(300))
+	}
+	b := New(append([]uint32(nil), deg...), Increasing)
+	lastK := uint32(0)
+	extracted := 0
+	for {
+		k, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		if k < lastK {
+			t.Fatalf("bucket order regressed: %d after %d", k, lastK)
+		}
+		lastK = k
+		extracted += len(vs)
+		// Decrease some random survivors' priorities (clamped at k).
+		var ids, ps []uint32
+		seen := map[uint32]bool{}
+		for j := 0; j < 50; j++ {
+			v := uint32(r.IntN(n))
+			if seen[v] || b.Priority(v) == Null {
+				continue
+			}
+			seen[v] = true
+			np := b.Priority(v)
+			if np > 0 {
+				np--
+			}
+			if np < k {
+				np = k
+			}
+			ids = append(ids, v)
+			ps = append(ps, np)
+		}
+		b.UpdateBatch(ids, ps)
+	}
+	if extracted != n {
+		t.Fatalf("extracted %d of %d", extracted, n)
+	}
+}
+
+func TestSemiEagerPacking(t *testing.T) {
+	// Repeatedly move vertices between two buckets; the structure's
+	// footprint must stay O(n), not O(#updates).
+	n := 256
+	init := make([]uint32, n)
+	b := New(init, Increasing)
+	for round := 0; round < 200; round++ {
+		ids := make([]uint32, n/2)
+		ps := make([]uint32, n/2)
+		for i := range ids {
+			ids[i] = uint32(i)
+			ps[i] = uint32(round%3 + 1)
+		}
+		b.UpdateBatch(ids, ps)
+	}
+	if sz := b.SizeWords(); sz > int64(16*n) {
+		t.Fatalf("bucket structure grew to %d words for n=%d", sz, n)
+	}
+}
+
+func TestLiveCountExact(t *testing.T) {
+	b := New(prios(1, 2, 3, Null), Increasing)
+	if b.Live() != 3 {
+		t.Fatalf("live=%d", b.Live())
+	}
+	b.Update(0, Null) // finalize one
+	if b.Live() != 2 {
+		t.Fatalf("live=%d after delete", b.Live())
+	}
+	b.Update(3, 7) // resurrect the absent one
+	if b.Live() != 3 {
+		t.Fatalf("live=%d after resurrect", b.Live())
+	}
+	seen := 0
+	for {
+		_, vs, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		seen += len(vs)
+	}
+	if seen != 3 {
+		t.Fatalf("extracted %d", seen)
+	}
+}

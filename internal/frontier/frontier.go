@@ -1,0 +1,116 @@
+// Package frontier provides the vertexSubset abstraction of Ligra (§2):
+// a subset of vertices with dual sparse (id list) and dense (boolean
+// array) representations, converted lazily as the traversal layer switches
+// between push- and pull-based edgeMaps.
+package frontier
+
+import (
+	"sage/internal/parallel"
+)
+
+// VertexSubset is a subset of the vertices [0, n). It is either sparse
+// (an unordered id list) or dense (a boolean array); conversions cache
+// nothing and are performed by the traversal layer when switching
+// directions.
+type VertexSubset struct {
+	n      uint32
+	sparse []uint32
+	dense  []bool
+	size   int
+	dFlag  bool
+}
+
+// Empty returns an empty subset over n vertices.
+func Empty(n uint32) *VertexSubset {
+	return &VertexSubset{n: n, sparse: []uint32{}}
+}
+
+// Single returns the subset {v}.
+func Single(n, v uint32) *VertexSubset {
+	return &VertexSubset{n: n, sparse: []uint32{v}, size: 1}
+}
+
+// FromSparse wraps an id list (takes ownership of ids).
+func FromSparse(n uint32, ids []uint32) *VertexSubset {
+	return &VertexSubset{n: n, sparse: ids, size: len(ids)}
+}
+
+// FromDense wraps a boolean array of length n (takes ownership). If size
+// is negative it is computed with a parallel count.
+func FromDense(n uint32, flags []bool, size int) *VertexSubset {
+	if size < 0 {
+		size = parallel.Count(int(n), 0, func(i int) bool { return flags[i] })
+	}
+	return &VertexSubset{n: n, dense: flags, size: size, dFlag: true}
+}
+
+// All returns the subset containing every vertex.
+func All(n uint32) *VertexSubset {
+	flags := make([]bool, n)
+	parallel.Fill(flags, true)
+	return FromDense(n, flags, int(n))
+}
+
+// N returns the universe size.
+func (s *VertexSubset) N() uint32 { return s.n }
+
+// Size returns |S|.
+func (s *VertexSubset) Size() int { return s.size }
+
+// IsEmpty reports whether the subset is empty.
+func (s *VertexSubset) IsEmpty() bool { return s.size == 0 }
+
+// IsDense reports the current representation.
+func (s *VertexSubset) IsDense() bool { return s.dFlag }
+
+// Sparse returns the id list, converting from dense if necessary (the
+// conversion is a parallel pack). The result must be treated as read-only.
+func (s *VertexSubset) Sparse() []uint32 {
+	if !s.dFlag {
+		return s.sparse
+	}
+	if s.sparse == nil {
+		s.sparse = parallel.PackIndex(int(s.n), func(i int) bool { return s.dense[i] })
+	}
+	return s.sparse
+}
+
+// Dense returns the boolean array, converting from sparse if necessary.
+func (s *VertexSubset) Dense() []bool {
+	if s.dFlag {
+		return s.dense
+	}
+	if s.dense == nil {
+		flags := make([]bool, s.n)
+		parallel.For(len(s.sparse), 0, func(i int) { flags[s.sparse[i]] = true })
+		s.dense = flags
+	}
+	return s.dense
+}
+
+// ForEach calls fn for every member, in parallel.
+func (s *VertexSubset) ForEach(fn func(v uint32)) {
+	if s.dFlag {
+		parallel.For(int(s.n), 0, func(i int) {
+			if s.dense[i] {
+				fn(uint32(i))
+			}
+		})
+		return
+	}
+	parallel.For(len(s.sparse), 0, func(i int) { fn(s.sparse[i]) })
+}
+
+// Contains reports membership (converts to dense if sparse; intended for
+// tests, not hot paths).
+func (s *VertexSubset) Contains(v uint32) bool {
+	if s.dFlag {
+		return s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package frontier
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+func TestEmptyAndSingle(t *testing.T) {
+	e := Empty(10)
+	if !e.IsEmpty() || e.Size() != 0 {
+		t.Fatal("empty not empty")
+	}
+	s := Single(10, 3)
+	if s.Size() != 1 || !s.Contains(3) || s.Contains(4) {
+		t.Fatal("single wrong")
+	}
+}
+
+func TestSparseDenseRoundTrip(t *testing.T) {
+	ids := []uint32{2, 5, 7}
+	s := FromSparse(10, append([]uint32(nil), ids...))
+	d := s.Dense()
+	for i := uint32(0); i < 10; i++ {
+		want := i == 2 || i == 5 || i == 7
+		if d[i] != want {
+			t.Fatalf("dense[%d]=%v", i, d[i])
+		}
+	}
+	// And back.
+	d2 := FromDense(10, d, -1)
+	if d2.Size() != 3 {
+		t.Fatalf("size %d", d2.Size())
+	}
+	sp := d2.Sparse()
+	sort.Slice(sp, func(i, j int) bool { return sp[i] < sp[j] })
+	for i := range ids {
+		if sp[i] != ids[i] {
+			t.Fatalf("sparse %v", sp)
+		}
+	}
+}
+
+func TestFromDenseCountsSize(t *testing.T) {
+	flags := make([]bool, 1000)
+	for i := 0; i < 1000; i += 3 {
+		flags[i] = true
+	}
+	s := FromDense(1000, flags, -1)
+	if s.Size() != 334 {
+		t.Fatalf("size %d", s.Size())
+	}
+}
+
+func TestAll(t *testing.T) {
+	a := All(100)
+	if a.Size() != 100 {
+		t.Fatalf("size %d", a.Size())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	s := FromSparse(100, []uint32{1, 2, 3})
+	var sum atomic.Int64
+	s.ForEach(func(v uint32) { sum.Add(int64(v)) })
+	if sum.Load() != 6 {
+		t.Fatalf("sum %d", sum.Load())
+	}
+	d := FromDense(4, []bool{true, false, true, false}, -1)
+	sum.Store(0)
+	d.ForEach(func(v uint32) { sum.Add(int64(v)) })
+	if sum.Load() != 2 {
+		t.Fatalf("dense sum %d", sum.Load())
+	}
+}

@@ -1,0 +1,87 @@
+package galois
+
+import (
+	"math"
+	"testing"
+
+	"sage/internal/gen"
+	"sage/internal/refalgo"
+)
+
+func engine(t *testing.T) (*Engine, func() int64) {
+	g := gen.AddUniformWeights(gen.RMAT(9, 8, 3), 5)
+	e := New(g, int64(g.SizeWords()/8)) // cache 1/8 of the graph
+	return e, func() int64 { return e.Env.Totals().CacheMisses }
+}
+
+func TestEngineBFS(t *testing.T) {
+	e, misses := engine(t)
+	parents := e.BFS(0)
+	want := refalgo.BFSDistances(e.G, 0)
+	for v := range want {
+		if (parents[v] == ^uint32(0)) != (want[v] == ^uint32(0)) {
+			t.Fatalf("reachability mismatch at %d", v)
+		}
+	}
+	if misses() == 0 {
+		t.Fatal("memory mode cache never missed")
+	}
+}
+
+func TestEngineSSSP(t *testing.T) {
+	e, _ := engine(t)
+	got := e.SSSP(0)
+	want := refalgo.Dijkstra(e.G, 0)
+	for v := range want {
+		if want[v] == math.MaxInt64 {
+			continue
+		}
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d]=%d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestEngineConnectivity(t *testing.T) {
+	e, _ := engine(t)
+	got := e.Connectivity()
+	want := refalgo.Components(e.G, 0)
+	if !refalgo.SameComponents(want, got) {
+		t.Fatal("connectivity differs")
+	}
+}
+
+func TestEnginePageRank(t *testing.T) {
+	e, _ := engine(t)
+	got := e.PageRank(10)
+	want := refalgo.PageRank(e.G, 0, 10)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("pr[%d] %v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestEngineBetweenness(t *testing.T) {
+	e, _ := engine(t)
+	got := e.Betweenness(0)
+	want := refalgo.Betweenness(e.G, 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("bc[%d]=%v want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestEngineKCoreSingleK(t *testing.T) {
+	e, _ := engine(t)
+	core := refalgo.Coreness(e.G)
+	for _, k := range []uint32{2, 4, 8} {
+		alive := e.KCoreSingleK(k)
+		for v := range alive {
+			if alive[v] != (core[v] >= k) {
+				t.Fatalf("k=%d: vertex %d alive=%v coreness=%d", k, v, alive[v], core[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"sage/internal/graph"
+)
+
+// CorpusEntry describes one graph of the Figure 2 corpus: the paper plots
+// 42 real-world SNAP/LAW graphs with n > 10^6 by vertex count and average
+// degree and observes that over 90% have m/n >= 10.
+type CorpusEntry struct {
+	Name      string
+	Kind      string // "social", "web", or "citation"
+	N         uint32
+	AvgDegree float64
+}
+
+// Fig2Corpus synthesizes a 42-graph corpus whose (n, m/n) envelope matches
+// Figure 2: vertex counts log-uniform over [2^14, 2^20] (scaled down from
+// the paper's [10^6, 10^10]), average degrees drawn per graph-type from the
+// same ranges as the SNAP/LAW datasets, with ~7% of entries below the
+// m/n = 10 line. The entries are deterministic in the seed.
+func Fig2Corpus(seed uint64) []CorpusEntry {
+	r := rand.New(rand.NewPCG(seed, 42))
+	kinds := []string{"social", "web", "citation"}
+	entries := make([]CorpusEntry, 0, 42)
+	for i := 0; i < 42; i++ {
+		kind := kinds[r.IntN(len(kinds))]
+		logn := 14 + r.Float64()*6
+		n := uint32(1) << int(logn)
+		var d float64
+		switch {
+		case i%14 == 13:
+			// ~7% sparse outliers (below the m/n = 10 dashed line).
+			d = 2 + r.Float64()*7
+		case kind == "web":
+			d = 20 + r.Float64()*60
+		case kind == "social":
+			d = 10 + r.Float64()*70
+		default:
+			d = 10 + r.Float64()*20
+		}
+		entries = append(entries, CorpusEntry{
+			Name:      kind + string(rune('A'+i%26)),
+			Kind:      kind,
+			N:         n,
+			AvgDegree: d,
+		})
+	}
+	return entries
+}
+
+// BuildEntry materializes one corpus entry as a graph (power-law for
+// social/web, Erdős–Rényi for citation-like) and returns it with its
+// realized average degree.
+func BuildEntry(e CorpusEntry, seed uint64) (*graph.Graph, float64) {
+	var g *graph.Graph
+	switch e.Kind {
+	case "citation":
+		g = ErdosRenyi(e.N, int(float64(e.N)*e.AvgDegree/2), seed)
+	default:
+		d := int(e.AvgDegree / 2)
+		if d < 1 {
+			d = 1
+		}
+		g = PowerLaw(e.N, d, seed)
+	}
+	return g, float64(g.NumEdges()) / float64(g.NumVertices())
+}

@@ -1,0 +1,203 @@
+// Package gen provides deterministic synthetic graph generators standing
+// in for the paper's datasets (Table 2). Real inputs (Hyperlink2012,
+// ClueWeb, Twitter, …) are hundreds of gigabytes and unavailable here;
+// the generators reproduce the structural properties the evaluation
+// depends on — skewed (power-law) degree distributions for the social/web
+// graphs, low diameter, average degrees in the 10–80 range (Figure 2) —
+// at laptop scale. All generators are deterministic in their seed.
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// rng returns a deterministic PCG stream for (seed, stream).
+func rng(seed, stream uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, stream*0x9e3779b97f4a7c15+0x2545f4914f6cdd1d))
+}
+
+// RMAT generates a symmetrized R-MAT graph with 2^logN vertices and
+// approximately avgDeg·2^logN arcs, using the Graph500 parameters
+// (a, b, c, d) = (0.57, 0.19, 0.19, 0.05) with per-level noise. R-MAT
+// matches the skewed degree distributions of the paper's social and web
+// graphs.
+func RMAT(logN int, avgDeg int, seed uint64) *graph.Graph {
+	n := uint32(1) << logN
+	mDirected := int(uint64(n) * uint64(avgDeg) / 2)
+	edges := make([]graph.Edge, mDirected)
+	parallel.ForBlocks(mDirected, 1<<14, func(_, lo, hi int) {
+		r := rng(seed, uint64(lo))
+		for i := lo; i < hi; i++ {
+			edges[i] = rmatEdge(r, logN)
+		}
+	})
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+func rmatEdge(r *rand.Rand, logN int) graph.Edge {
+	const a, b, c = 0.57, 0.19, 0.19
+	var u, v uint32
+	for bit := 0; bit < logN; bit++ {
+		// Add ±10% noise per level so degrees smooth out.
+		noise := 0.9 + 0.2*r.Float64()
+		ab := (a + b) * noise
+		aa := a * noise
+		cc := aa + c*noise
+		p := r.Float64() * (noise)
+		u <<= 1
+		v <<= 1
+		switch {
+		case p < aa:
+			// quadrant (0,0)
+		case p < ab:
+			v |= 1
+		case p < cc:
+			u |= 1
+		default:
+			u |= 1
+			v |= 1
+		}
+	}
+	return graph.Edge{U: u, V: v}
+}
+
+// ErdosRenyi generates a symmetrized G(n, m) graph with m target arcs
+// before deduplication.
+func ErdosRenyi(n uint32, m int, seed uint64) *graph.Graph {
+	edges := make([]graph.Edge, m)
+	parallel.ForBlocks(m, 1<<14, func(_, lo, hi int) {
+		r := rng(seed, uint64(lo))
+		for i := lo; i < hi; i++ {
+			edges[i] = graph.Edge{U: r.Uint32N(n), V: r.Uint32N(n)}
+		}
+	})
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// PowerLaw generates a preferential-attachment ("copying model") graph:
+// vertex v attaches d edges, each to a uniform earlier vertex with
+// probability q or to the endpoint of a uniform earlier edge otherwise
+// (which samples proportionally to degree). The result has a power-law
+// tail like the paper's social networks.
+func PowerLaw(n uint32, d int, seed uint64) *graph.Graph {
+	if n < 2 {
+		n = 2
+	}
+	r := rng(seed, 0)
+	targets := make([]uint32, 0, int(n)*d)
+	edges := make([]graph.Edge, 0, int(n)*d)
+	const q = 0.25
+	for v := uint32(1); v < n; v++ {
+		for j := 0; j < d; j++ {
+			var t uint32
+			if len(targets) == 0 || r.Float64() < q {
+				t = r.Uint32N(v)
+			} else {
+				t = targets[r.IntN(len(targets))]
+			}
+			edges = append(edges, graph.Edge{U: v, V: t})
+			targets = append(targets, t, v)
+		}
+	}
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// Grid2D generates a rows×cols lattice (4-neighborhood); if torus is true
+// the boundary wraps. Grids model the high-diameter road-network-like
+// inputs used to stress frontier-based algorithms.
+func Grid2D(rows, cols uint32, torus bool) *graph.Graph {
+	n := rows * cols
+	edges := make([]graph.Edge, 0, 2*int(n))
+	id := func(r, c uint32) uint32 { return r*cols + c }
+	for r := uint32(0); r < rows; r++ {
+		for c := uint32(0); c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			} else if torus && cols > 2 {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, 0)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			} else if torus && rows > 2 {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(0, c)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// Star generates a star with center 0 and n-1 leaves: the extreme skew
+// case for load balancing.
+func Star(n uint32) *graph.Graph {
+	edges := make([]graph.Edge, 0, int(n)-1)
+	for v := uint32(1); v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: v})
+	}
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// Chain generates a path on n vertices: the extreme diameter case.
+func Chain(n uint32) *graph.Graph {
+	edges := make([]graph.Edge, 0, int(n)-1)
+	for v := uint32(0); v+1 < n; v++ {
+		edges = append(edges, graph.Edge{U: v, V: v + 1})
+	}
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// Cycle generates a cycle on n vertices.
+func Cycle(n uint32) *graph.Graph {
+	edges := make([]graph.Edge, 0, int(n))
+	for v := uint32(0); v < n; v++ {
+		edges = append(edges, graph.Edge{U: v, V: (v + 1) % n})
+	}
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// CompleteBipartite generates K_{a,b} (set-cover-style bipartite
+// structure).
+func CompleteBipartite(a, b uint32) *graph.Graph {
+	edges := make([]graph.Edge, 0, int(a)*int(b))
+	for u := uint32(0); u < a; u++ {
+		for v := uint32(0); v < b; v++ {
+			edges = append(edges, graph.Edge{U: u, V: a + v})
+		}
+	}
+	return graph.FromEdges(a+b, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+// AddUniformWeights returns a weighted copy of g with integer weights
+// drawn uniformly from [1, log2 n), the paper's weighting scheme (§5.1.3).
+// Both directions of an undirected edge receive the same weight (derived
+// from a symmetric hash of the endpoints).
+func AddUniformWeights(g *graph.Graph, seed uint64) *graph.Graph {
+	n := g.NumVertices()
+	maxW := int32(math.Log2(float64(n)))
+	if maxW < 2 {
+		maxW = 2
+	}
+	edges := make([]graph.WEdge, 0, g.NumEdges())
+	for v := uint32(0); v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			lo, hi := min(u, v), max(u, v)
+			h := hashPair(uint64(lo)<<32|uint64(hi), seed)
+			w := 1 + int32(h%uint64(maxW-1))
+			edges = append(edges, graph.WEdge{U: v, V: u, W: w})
+		}
+	}
+	return graph.FromWeightedEdges(n, edges, graph.BuildOpts{})
+}
+
+func hashPair(x, seed uint64) uint64 {
+	x ^= seed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,49 @@
+package graph
+
+// Adj is the read-only adjacency interface shared by the uncompressed CSR
+// representation (*Graph) and the byte-compressed representation
+// (*compress.CGraph). The traversal layer, the graph filter, and the
+// algorithms are generic over it, so every algorithm runs unchanged on
+// either representation — mirroring how Sage inherits Ligra+'s compressed
+// formats (§2, §4.2.1).
+type Adj interface {
+	// NumVertices returns n.
+	NumVertices() uint32
+	// NumEdges returns the number of stored arcs m.
+	NumEdges() uint64
+	// Degree returns deg(v).
+	Degree(v uint32) uint32
+	// AvgDegree returns max(1, m/n), the chunking group size davg.
+	AvgDegree() uint32
+	// EdgeAddr returns the simulated NVRAM word address of the start of
+	// v's adjacency data (for the Memory-Mode cache simulator).
+	EdgeAddr(v uint32) int64
+	// ScanCost returns the simulated NVRAM words read when scanning
+	// adjacency positions [lo, hi) of v. For compressed graphs this is
+	// block-aligned: partial block reads cost the whole block.
+	ScanCost(v uint32, lo, hi uint32) int64
+	// IterRange iterates adjacency positions [lo, hi) of v in order,
+	// stopping if fn returns false. Position indices i are in [0, deg(v)).
+	// Unweighted graphs supply weight 1.
+	IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w int32) bool)
+	// BlockSize returns the decode granularity: 0 for CSR (any), or the
+	// compression block size.
+	BlockSize() int
+	// Weighted reports whether edges carry weights.
+	Weighted() bool
+}
+
+// IterAll iterates the full adjacency list of v.
+func IterAll(g Adj, v uint32, fn func(i, ngh uint32, w int32) bool) {
+	g.IterRange(v, 0, g.Degree(v), fn)
+}
+
+// DecodeRange appends the neighbors at positions [lo, hi) of v to buf and
+// returns the extended slice.
+func DecodeRange(g Adj, v uint32, lo, hi uint32, buf []uint32) []uint32 {
+	g.IterRange(v, lo, hi, func(_, ngh uint32, _ int32) bool {
+		buf = append(buf, ngh)
+		return true
+	})
+	return buf
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func triangleGraph() *Graph {
+	return FromEdges(3, []Edge{{0, 1}, {1, 2}, {0, 2}}, BuildOpts{Symmetrize: true})
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := triangleGraph()
+	if g.NumVertices() != 3 || g.NumEdges() != 6 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(0); v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("deg(%d)=%d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1}, {0, 1}, {1, 0}, {2, 2}, {1, 3}}, BuildOpts{Symmetrize: true})
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Edges: {0,1} and {1,3}; symmetric arcs = 4.
+	if g.NumEdges() != 4 {
+		t.Fatalf("m=%d want 4", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatal("self loop survived")
+	}
+}
+
+func TestFromEdgesProperty(t *testing.T) {
+	f := func(raw []uint16, nSeed uint8) bool {
+		n := uint32(nSeed)%64 + 2
+		var edges []Edge
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{U: uint32(raw[i]) % n, V: uint32(raw[i+1]) % n})
+		}
+		g := FromEdges(n, edges, BuildOpts{Symmetrize: true})
+		return g.Validate(true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedBuild(t *testing.T) {
+	g := FromWeightedEdges(3, []WEdge{{0, 1, 5}, {1, 2, 7}}, BuildOpts{Symmetrize: true})
+	if !g.Weighted() {
+		t.Fatal("not weighted")
+	}
+	w, ok := g.EdgeWeight(0, 1)
+	if !ok || w != 5 {
+		t.Fatalf("w(0,1)=%d ok=%v", w, ok)
+	}
+	w, ok = g.EdgeWeight(2, 1)
+	if !ok || w != 7 {
+		t.Fatalf("w(2,1)=%d ok=%v", w, ok)
+	}
+	if _, ok = g.EdgeWeight(0, 2); ok {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestIterRangeEarlyExit(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, BuildOpts{Symmetrize: true})
+	var seen []uint32
+	g.IterRange(0, 0, 4, func(_, ngh uint32, _ int32) bool {
+		seen = append(seen, ngh)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 {
+		t.Fatalf("seen=%v", seen)
+	}
+	seen = nil
+	g.IterRange(0, 1, 3, func(i, ngh uint32, _ int32) bool {
+		if i < 1 || i >= 3 {
+			t.Fatalf("position %d out of range", i)
+		}
+		seen = append(seen, ngh)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 3 {
+		t.Fatalf("range iter: %v", seen)
+	}
+}
+
+func TestScanCostAndAddr(t *testing.T) {
+	g := triangleGraph()
+	if g.ScanCost(0, 0, 2) != 2 {
+		t.Fatalf("cost %d", g.ScanCost(0, 0, 2))
+	}
+	// Offsets occupy [0, n+1): first edge address is n+1.
+	if g.EdgeAddr(0) != int64(g.NumVertices())+1 {
+		t.Fatalf("addr %d", g.EdgeAddr(0))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := triangleGraph()
+	if !g.HasEdge(0, 2) || g.HasEdge(0, 0) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewPCG(7, 9))
+	edges := make([]WEdge, 500)
+	for i := range edges {
+		edges[i] = WEdge{U: r.Uint32N(100), V: r.Uint32N(100), W: int32(r.IntN(50) + 1)}
+	}
+	g := FromWeightedEdges(100, edges, BuildOpts{Symmetrize: true})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("header mismatch")
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("deg mismatch at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge mismatch at %d[%d]", v, i)
+			}
+		}
+		wa, wb := g.NeighborWeights(v), g2.NeighborWeights(v)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("weight mismatch at %d[%d]", v, i)
+			}
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g := FromAdjacency([][]uint32{{1, 2}, {0}, {0}})
+	if g.NumEdges() != 4 || g.Degree(0) != 2 {
+		t.Fatal("FromAdjacency wrong")
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedDegrees(t *testing.T) {
+	g := triangleGraph()
+	deg := g.InducedDegrees(func(v uint32) bool { return v != 2 })
+	if deg[0] != 1 || deg[1] != 1 || deg[2] != 0 {
+		t.Fatalf("induced %v", deg)
+	}
+}
+
+func TestAvgMaxDegree(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}}, BuildOpts{Symmetrize: true})
+	if g.MaxDegree() != 4 {
+		t.Fatalf("max %d", g.MaxDegree())
+	}
+	if g.AvgDegree() != 1 {
+		t.Fatalf("avg %d", g.AvgDegree())
+	}
+}
+
+func TestDecodeRange(t *testing.T) {
+	g := triangleGraph()
+	got := DecodeRange(g, 0, 0, 2, nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("decode %v", got)
+	}
+}

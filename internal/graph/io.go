@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary serialization of CSR graphs. The format is a little-endian header
+// (magic, flags, n, m) followed by the offsets, edges, and (if weighted)
+// weights arrays. It is the on-"NVRAM" storage format that cmd/sage-gen
+// produces and cmd/sage-run and cmd/sage-bench consume.
+
+const binaryMagic = uint64(0x5341474547525048) // "SAGEGRPH"
+
+const flagWeighted = uint64(1)
+
+// WriteBinary serializes g to w.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var flags uint64
+	if g.weights != nil {
+		flags |= flagWeighted
+	}
+	hdr := [4]uint64{binaryMagic, flags, uint64(g.n), g.m}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := writeUint64s(bw, g.offsets); err != nil {
+		return err
+	}
+	if err := writeUint32s(bw, g.edges); err != nil {
+		return err
+	}
+	if g.weights != nil {
+		if err := writeInt32s(bw, g.weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [4]uint64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph header: %w", err)
+		}
+	}
+	if hdr[0] != binaryMagic {
+		return nil, fmt.Errorf("bad magic %#x", hdr[0])
+	}
+	flags, n, m := hdr[1], uint32(hdr[2]), hdr[3]
+	g := &Graph{n: n, m: m}
+	g.offsets = make([]uint64, n+1)
+	if err := readUint64s(br, g.offsets); err != nil {
+		return nil, err
+	}
+	g.edges = make([]uint32, m)
+	if err := readUint32s(br, g.edges); err != nil {
+		return nil, err
+	}
+	if flags&flagWeighted != 0 {
+		g.weights = make([]int32, m)
+		if err := readInt32s(br, g.weights); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// SaveFile writes the graph to path in the binary format.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.WriteBinary(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a binary graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+const ioChunk = 1 << 16
+
+func writeUint64s(w io.Writer, a []uint64) error {
+	buf := make([]byte, 8*ioChunk)
+	for len(a) > 0 {
+		k := min(len(a), ioChunk)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], a[i])
+		}
+		if _, err := w.Write(buf[:8*k]); err != nil {
+			return err
+		}
+		a = a[k:]
+	}
+	return nil
+}
+
+func writeUint32s(w io.Writer, a []uint32) error {
+	buf := make([]byte, 4*ioChunk)
+	for len(a) > 0 {
+		k := min(len(a), ioChunk)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], a[i])
+		}
+		if _, err := w.Write(buf[:4*k]); err != nil {
+			return err
+		}
+		a = a[k:]
+	}
+	return nil
+}
+
+func writeInt32s(w io.Writer, a []int32) error {
+	buf := make([]byte, 4*ioChunk)
+	for len(a) > 0 {
+		k := min(len(a), ioChunk)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(a[i]))
+		}
+		if _, err := w.Write(buf[:4*k]); err != nil {
+			return err
+		}
+		a = a[k:]
+	}
+	return nil
+}
+
+func readUint64s(r io.Reader, a []uint64) error {
+	buf := make([]byte, 8*ioChunk)
+	for len(a) > 0 {
+		k := min(len(a), ioChunk)
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			a[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		}
+		a = a[k:]
+	}
+	return nil
+}
+
+func readUint32s(r io.Reader, a []uint32) error {
+	buf := make([]byte, 4*ioChunk)
+	for len(a) > 0 {
+		k := min(len(a), ioChunk)
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			a[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+		a = a[k:]
+	}
+	return nil
+}
+
+func readInt32s(r io.Reader, a []int32) error {
+	buf := make([]byte, 4*ioChunk)
+	for len(a) > 0 {
+		k := min(len(a), ioChunk)
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return err
+		}
+		for i := 0; i < k; i++ {
+			a[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		a = a[k:]
+	}
+	return nil
+}

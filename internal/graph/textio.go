@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Text serialization in the Ligra "AdjacencyGraph" format used by the
+// paper's code base and most shared-memory graph frameworks:
+//
+//	AdjacencyGraph
+//	<n>
+//	<m>
+//	<n offsets>
+//	<m edges>
+//
+// The weighted variant ("WeightedAdjacencyGraph") appends m integer
+// weights. Reading accepts both.
+
+// WriteText serializes g in the Ligra adjacency-graph text format.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	header := "AdjacencyGraph"
+	if g.weights != nil {
+		header = "WeightedAdjacencyGraph"
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", header, g.n, g.m); err != nil {
+		return err
+	}
+	for v := uint32(0); v < g.n; v++ {
+		if _, err := fmt.Fprintln(bw, g.offsets[v]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintln(bw, e); err != nil {
+			return err
+		}
+	}
+	for _, wt := range g.weights {
+		if _, err := fmt.Fprintln(bw, wt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a Ligra adjacency-graph text stream.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	next := func() (string, error) {
+		for sc.Scan() {
+			tok := sc.Text()
+			if tok != "" {
+				return tok, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	sc.Split(bufio.ScanWords)
+
+	header, err := next()
+	if err != nil {
+		return nil, err
+	}
+	weighted := false
+	switch header {
+	case "AdjacencyGraph":
+	case "WeightedAdjacencyGraph":
+		weighted = true
+	default:
+		return nil, fmt.Errorf("graph: unknown text header %q", header)
+	}
+	readUint := func() (uint64, error) {
+		tok, err := next()
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseUint(tok, 10, 64)
+	}
+	nv, err := readUint()
+	if err != nil {
+		return nil, fmt.Errorf("graph: vertex count: %w", err)
+	}
+	m, err := readUint()
+	if err != nil {
+		return nil, fmt.Errorf("graph: edge count: %w", err)
+	}
+	g := &Graph{n: uint32(nv), m: m}
+	g.offsets = make([]uint64, nv+1)
+	for v := uint64(0); v < nv; v++ {
+		off, err := readUint()
+		if err != nil {
+			return nil, fmt.Errorf("graph: offset %d: %w", v, err)
+		}
+		g.offsets[v] = off
+	}
+	g.offsets[nv] = m
+	g.edges = make([]uint32, m)
+	for i := uint64(0); i < m; i++ {
+		e, err := readUint()
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge %d: %w", i, err)
+		}
+		if e >= nv {
+			return nil, fmt.Errorf("graph: edge target %d out of range", e)
+		}
+		g.edges[i] = uint32(e)
+	}
+	if weighted {
+		g.weights = make([]int32, m)
+		for i := uint64(0); i < m; i++ {
+			tok, err := next()
+			if err != nil {
+				return nil, fmt.Errorf("graph: weight %d: %w", i, err)
+			}
+			wt, err := strconv.ParseInt(tok, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: weight %d: %w", i, err)
+			}
+			g.weights[i] = int32(wt)
+		}
+	}
+	// Validate monotone offsets.
+	for v := uint64(0); v < nv; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"sage/internal/algos"
+	"sage/internal/compress"
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/numa"
+	"sage/internal/parallel"
+	"sage/internal/psam"
+	"sage/internal/semiext"
+	"sage/internal/traverse"
+)
+
+// RunFig2 regenerates Figure 2: the vertex-count vs average-degree
+// envelope of the 42-graph corpus, and the >90%-above-10 claim.
+func RunFig2() *Report {
+	entries := gen.Fig2Corpus(42)
+	rep := &Report{
+		ID:      "fig2",
+		Title:   "Synthetic corpus matching the SNAP/LAW envelope (42 graphs)",
+		Columns: []string{"Graph", "Kind", "n", "m/n"},
+	}
+	dense := 0
+	for _, e := range entries {
+		if e.AvgDegree >= 10 {
+			dense++
+		}
+		rep.Rows = append(rep.Rows, []string{
+			e.Name, e.Kind, fmt.Sprintf("%d", e.N), fmt.Sprintf("%.1f", e.AvgDegree),
+		})
+	}
+	frac := float64(dense) / float64(len(entries))
+	rep.Metric("frac_davg_ge_10", frac)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"%.0f%% of the corpus has m/n >= 10 (paper: over 90%%)", 100*frac))
+	return rep
+}
+
+// RunFig6 regenerates Figure 6: self-relative speedup (T1/Tp) of every
+// problem, sweeping the worker count, with the parallel wall-clock time
+// annotated as in the figure.
+func RunFig6(scale int) *Report {
+	w := NewWorkload(scale)
+	maxP := parallel.Workers()
+	rep := &Report{
+		ID:      "fig6",
+		Title:   fmt.Sprintf("Self-relative speedup on RMAT scale %d with %d workers", scale, maxP),
+		Columns: []string{"Problem", "T1", fmt.Sprintf("T%d", maxP), "Speedup"},
+	}
+	defer parallel.SetWorkers(maxP)
+	cfg := SageConfig()
+	for _, p := range Problems() {
+		parallel.SetWorkers(1)
+		_, t1 := cfg.run(p, w)
+		parallel.SetWorkers(maxP)
+		_, tp := cfg.run(p, w)
+		speedup := float64(t1) / float64(tp)
+		rep.Rows = append(rep.Rows, []string{
+			p.Name, fmtDur(t1), fmtDur(tp), fmt.Sprintf("%.1fx", speedup),
+		})
+		rep.Metric(p.Name+"/speedup", speedup)
+	}
+	rep.Notes = append(rep.Notes,
+		"Paper reports 9-63x on 48 cores / 96 hyper-threads; this machine has fewer cores, so absolute speedups are proportionally lower.")
+	return rep
+}
+
+// RunTable2 regenerates Table 2: the graph inputs with their sizes.
+func RunTable2(scale int) *Report {
+	rep := &Report{
+		ID:      "table2",
+		Title:   "Graph inputs (synthetic stand-ins for Table 2)",
+		Columns: []string{"Graph", "Vertices", "Edges(arcs)", "davg"},
+	}
+	add := func(name string, g *graph.Graph) {
+		rep.Rows = append(rep.Rows, []string{
+			name,
+			fmt.Sprintf("%d", g.NumVertices()),
+			fmt.Sprintf("%d", g.NumEdges()),
+			fmt.Sprintf("%.1f", float64(g.NumEdges())/float64(g.NumVertices())),
+		})
+		rep.Metric(name+"/davg", float64(g.NumEdges())/float64(g.NumVertices()))
+	}
+	add("rmat-social", gen.RMAT(scale, 16, 1))
+	add("rmat-web", gen.RMAT(scale-1, 64, 2))
+	add("powerlaw", gen.PowerLaw(1<<(scale-1), 8, 3))
+	add("erdos-renyi", gen.ErdosRenyi(1<<(scale-1), 1<<(scale+2), 4))
+	add("grid-road", gen.Grid2D(1<<(scale/2), 1<<(scale/2), false))
+	return rep
+}
+
+// RunTable3 regenerates Table 3: Sage against the semi-external
+// streaming engine (GridGraph-style over a simulated block device) on
+// BFS, SSSP, Connectivity, and PageRank.
+func RunTable3(scale int) *Report {
+	w := NewWorkload(scale)
+	grid := semiext.NewGrid(w.G, 8)
+	wgrid := semiext.NewGrid(w.WG, 8)
+	rep := &Report{
+		ID:      "table3",
+		Title:   "Sage vs semi-external streaming engine (simulated SSD pages)",
+		Columns: []string{"Problem", "Sage cost", "SemiExt cost", "SemiExt/Sage"},
+	}
+	type entry struct {
+		name string
+		sage func(o *algos.Options)
+		semi func() int64
+	}
+	entries := []entry{
+		{"BFS", func(o *algos.Options) { algos.BFS(w.G, o, 0) }, func() int64 {
+			grid.Dev = freshDevice()
+			grid.BFS(0)
+			return grid.Dev.Cost()
+		}},
+		{"SSSP", func(o *algos.Options) { algos.BellmanFord(w.WG, o, 0) }, func() int64 {
+			wgrid.Dev = freshDevice()
+			wgrid.SSSP(0, func(u, v uint32) int32 {
+				wt, _ := w.WG.EdgeWeight(u, v)
+				return wt
+			})
+			return wgrid.Dev.Cost()
+		}},
+		{"Connectivity", func(o *algos.Options) { algos.Connectivity(w.G, o) }, func() int64 {
+			grid.Dev = freshDevice()
+			grid.Connectivity()
+			return grid.Dev.Cost()
+		}},
+		{"PageRank(1 iter)", func(o *algos.Options) {
+			n := int(w.G.NumVertices())
+			prev := make([]float64, n)
+			next := make([]float64, n)
+			algos.PageRankIter(w.G, o, prev, next)
+		}, func() int64 {
+			grid.Dev = freshDevice()
+			grid.PageRank(1)
+			return grid.Dev.Cost()
+		}},
+	}
+	var ratios []float64
+	for _, e := range entries {
+		env := psam.NewEnv(psam.AppDirect)
+		o := algos.Defaults().WithEnv(env)
+		e.sage(o)
+		sageCost := float64(env.Cost())
+		semiCost := float64(e.semi())
+		ratio := semiCost / sageCost
+		ratios = append(ratios, ratio)
+		rep.Rows = append(rep.Rows, []string{
+			e.name, fmtCost(sageCost), fmtCost(semiCost), fmtRatio(ratio),
+		})
+		rep.Metric(e.name+"/semiext_over_sage", ratio)
+	}
+	rep.Metric("avg/semiext_over_sage", geoMean(ratios))
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"Semi-external streaming is %.1fx more expensive on average (paper: 9.3-12x vs FlashGraph/Mosaic, up to 8024x vs GridGraph)",
+		geoMean(ratios)))
+	return rep
+}
+
+// RunTable4 regenerates Table 4: the filter-block-size tradeoff for
+// triangle counting on a compressed graph — intersection work is
+// invariant while total decode work and cost grow with the block size.
+func RunTable4(scale int) *Report {
+	g := gen.RMAT(scale, 16, 0x5a6e+uint64(scale))
+	rep := &Report{
+		ID:      "table4",
+		Title:   "Triangle counting vs filter block size (compressed input)",
+		Columns: []string{"BlockSize", "IntersectionWork", "TotalWork", "PSAM cost", "Time"},
+	}
+	var firstIW int64
+	for _, bs := range []int{64, 128, 256} {
+		cg := compress.Compress(g, bs)
+		env := psam.NewEnv(psam.AppDirect)
+		o := algos.Defaults().WithEnv(env)
+		o.FB = bs
+		start := time.Now()
+		res := algos.TriangleCount(cg, o)
+		elapsed := time.Since(start)
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", bs),
+			fmt.Sprintf("%d", res.IntersectionWork),
+			fmt.Sprintf("%d", res.TotalWork),
+			fmtCost(float64(env.Cost())),
+			fmtDur(elapsed),
+		})
+		rep.Metric(fmt.Sprintf("bs%d/total_work", bs), float64(res.TotalWork))
+		rep.Metric(fmt.Sprintf("bs%d/intersection_work", bs), float64(res.IntersectionWork))
+		rep.Metric(fmt.Sprintf("bs%d/cost", bs), float64(env.Cost()))
+		if firstIW == 0 {
+			firstIW = res.IntersectionWork
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"Intersection work is fixed by the graph and ordering; total (decode) work grows with the block size (Appendix D.1).")
+	return rep
+}
+
+// RunTable5 regenerates Table 5 (Appendix D.2): peak DRAM usage and time
+// of a full BFS under the three sparse-traversal strategies, forced
+// sparse-only as in the appendix, plus the direction-optimization
+// speedup comparison.
+func RunTable5(scale int) *Report {
+	// Two scales above the other experiments with double the density: the
+	// memory gap between the strategies is proportional to the widest
+	// frontier's edge count, which must dwarf the O(n + P*chunk) floor.
+	g := gen.RMAT(scale+2, 32, 0x5a6e)
+	rep := &Report{
+		ID:      "table5",
+		Title:   "BFS memory usage by traversal strategy (sparse-only, Appendix D.2)",
+		Columns: []string{"Algorithm", "Peak DRAM (words)", "PSAM cost", "Time"},
+	}
+	run := func(strategy traverse.Strategy, forceSparse bool) (int64, int64, time.Duration) {
+		env := psam.NewEnv(psam.AppDirect)
+		o := algos.Defaults().WithEnv(env)
+		o.Traverse.Strategy = strategy
+		o.Traverse.ForceSparse = forceSparse
+		start := time.Now()
+		algos.BFS(g, o, 0)
+		return env.Space.Peak(), env.Cost(), time.Since(start)
+	}
+	for _, s := range []traverse.Strategy{traverse.Sparse, traverse.Blocked, traverse.Chunked} {
+		peak, cost, dur := run(s, true)
+		rep.Rows = append(rep.Rows, []string{
+			s.String(), fmt.Sprintf("%d", peak), fmtCost(float64(cost)), fmtDur(dur),
+		})
+		rep.Metric(s.String()+"/peak", float64(peak))
+	}
+	// Direction optimization: sparse-only vs direction-optimized chunked.
+	_, costSparse, _ := run(traverse.Chunked, true)
+	_, costAuto, _ := run(traverse.Chunked, false)
+	ratio := float64(costSparse) / float64(costAuto)
+	rep.Metric("direction_opt_gain", ratio)
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"Direction optimization reduces BFS cost by %.1fx over sparse-only (paper: 3.1x on Hyperlink2012)", ratio))
+	return rep
+}
+
+// RunSec52 regenerates the §5.2 NUMA micro-benchmark: degree counting
+// under the three graph layouts.
+func RunSec52(scale int) *Report {
+	g := gen.RMAT(scale, 16, 0x52)
+	_, words := numa.DegreeCount(g)
+	m := numa.DefaultModel()
+	p := 2 * parallel.Workers() // model both sockets fully populated
+	rep := &Report{
+		ID:      "sec52",
+		Title:   "NUMA graph layout micro-benchmark (degree counting)",
+		Columns: []string{"Layout", "Sim time", "vs single-socket"},
+	}
+	single := m.SimulatedTime(numa.SingleSocket, words, p)
+	for _, pl := range []numa.Placement{numa.SingleSocket, numa.Interleaved, numa.Replicated} {
+		tm := m.SimulatedTime(pl, words, p)
+		rep.Rows = append(rep.Rows, []string{
+			pl.String(), fmt.Sprintf("%.0f", tm), fmtRatio(tm / single),
+		})
+		rep.Metric(pl.String()+"/rel", tm/single)
+	}
+	rep.Notes = append(rep.Notes,
+		"Paper §5.2: cross-socket 3.7x slower than single-socket; replicated 1.6x faster than single-socket (6.2x faster than cross-socket).")
+	return rep
+}
+
+// RunAll executes every experiment at the given scale.
+func RunAll(scale int) []*Report {
+	return []*Report{
+		RunFig1(scale), RunFig2(), RunFig6(scale), RunFig7(scale),
+		RunTable1(scale), RunTable2(scale), RunTable3(scale),
+		RunTable4(scale), RunTable5(scale), RunSec52(scale),
+		RunAppD1(scale),
+	}
+}
+
+// freshDevice resets page accounting between semi-external runs.
+func freshDevice() *semiext.Device {
+	return &semiext.Device{PageCost: semiext.DefaultPageCost}
+}
+
+// RunAppD1 regenerates the Appendix D.1 ordering study: triangle
+// counting's decode work under the original, degree (hubs-first), and
+// random vertex orderings of the same graph — the count is invariant,
+// the work profile is not.
+func RunAppD1(scale int) *Report {
+	g := gen.RMAT(scale, 16, 0xd1)
+	rep := &Report{
+		ID:      "appD1",
+		Title:   "Triangle counting vs vertex ordering (Appendix D.1)",
+		Columns: []string{"Ordering", "Triangles", "IntersectionWork", "TotalWork"},
+	}
+	runTC := func(name string, h *graph.Graph) {
+		env := psam.NewEnv(psam.AppDirect)
+		o := algos.Defaults().WithEnv(env)
+		res := algos.TriangleCount(h, o)
+		rep.Rows = append(rep.Rows, []string{
+			name,
+			fmt.Sprintf("%d", res.Count),
+			fmt.Sprintf("%d", res.IntersectionWork),
+			fmt.Sprintf("%d", res.TotalWork),
+		})
+		rep.Metric(name+"/count", float64(res.Count))
+		rep.Metric(name+"/intersection", float64(res.IntersectionWork))
+	}
+	runTC("original", g)
+	runTC("degree", g.Relabel(g.DegreeOrder()))
+	runTC("random", g.Relabel(g.RandomOrder(17)))
+	rep.Notes = append(rep.Notes,
+		"The triangle count is ordering-invariant; the work counters shift with the ordering — the effect Appendix D.1 reports between ClueWeb and the Hyperlink graphs.")
+	return rep
+}

@@ -1,0 +1,48 @@
+package numa
+
+import (
+	"testing"
+
+	"sage/internal/gen"
+)
+
+func TestDegreeCountWords(t *testing.T) {
+	g := gen.RMAT(9, 8, 1)
+	counts, words := DegreeCount(g)
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if counts[v] != g.Degree(v) {
+			t.Fatalf("count[%d]=%d deg=%d", v, counts[v], g.Degree(v))
+		}
+	}
+	want := int64(g.NumEdges()) + int64(g.NumVertices())
+	if words != want {
+		t.Fatalf("words=%d want %d (n+m)", words, want)
+	}
+}
+
+func TestPlacementRatiosMatchSection52(t *testing.T) {
+	m := DefaultModel()
+	const words = int64(1 << 30)
+	const p = 96
+	single := m.SimulatedTime(SingleSocket, words, p)
+	cross := m.SimulatedTime(Interleaved, words, p)
+	repl := m.SimulatedTime(Replicated, words, p)
+	// §5.2: cross-socket ≈ 3.7x slower than single-socket; replicated ≈
+	// 1.6x faster than single-socket; and ≈ 6.2x faster than cross-socket.
+	if r := cross / single; r < 3.5 || r > 3.9 {
+		t.Fatalf("cross/single = %.2f, want ~3.7", r)
+	}
+	if r := single / repl; r < 1.5 || r > 1.7 {
+		t.Fatalf("single/repl = %.2f, want ~1.6", r)
+	}
+	if r := cross / repl; r < 5.5 || r > 6.5 {
+		t.Fatalf("cross/repl = %.2f, want ~6.2", r)
+	}
+}
+
+func TestPlacementNames(t *testing.T) {
+	if SingleSocket.String() != "single-socket" || Interleaved.String() != "cross-socket" ||
+		Replicated.String() != "replicated" {
+		t.Fatal("placement names")
+	}
+}

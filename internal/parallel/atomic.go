@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// CASUint32 performs a compare-and-swap on p.
+func CASUint32(p *uint32, old, new uint32) bool {
+	return atomic.CompareAndSwapUint32(p, old, new)
+}
+
+// WriteMinUint32 atomically sets *p = min(*p, v), returning true iff the
+// write strictly lowered the stored value. It is the priority-write used by
+// shortest-path relaxations.
+func WriteMinUint32(p *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(p, old, v) {
+			return true
+		}
+	}
+}
+
+// WriteMinInt64 atomically sets *p = min(*p, v).
+func WriteMinInt64(p *int64, v int64) bool {
+	for {
+		old := atomic.LoadInt64(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(p, old, v) {
+			return true
+		}
+	}
+}
+
+// WriteMaxUint32 atomically sets *p = max(*p, v).
+func WriteMaxUint32(p *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(p)
+		if v <= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(p, old, v) {
+			return true
+		}
+	}
+}
+
+// WriteMaxInt64 atomically sets *p = max(*p, v).
+func WriteMaxInt64(p *int64, v int64) bool {
+	for {
+		old := atomic.LoadInt64(p)
+		if v <= old {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(p, old, v) {
+			return true
+		}
+	}
+}
+
+// AddFloat64 atomically adds delta to the float64 stored as bits in *p.
+// Betweenness centrality accumulates fractional dependencies with it.
+func AddFloat64(p *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(p)
+		new := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(p, old, new) {
+			return
+		}
+	}
+}
+
+// LoadFloat64 reads the float64 stored as bits in *p.
+func LoadFloat64(p *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(p))
+}
+
+// StoreFloat64 writes v as bits into *p.
+func StoreFloat64(p *uint64, v float64) {
+	atomic.StoreUint64(p, math.Float64bits(v))
+}
+
+// FetchAddInt32 atomically adds delta to *p and returns the new value.
+func FetchAddInt32(p *int32, delta int32) int32 {
+	return atomic.AddInt32(p, delta)
+}
+
+// TestAndSetByte attempts to flip a 0 byte at p to 1 without requiring
+// byte-granular atomics: it is implemented with a CAS on the containing
+// 32-bit word of a []uint32 bitset. See Bitset.
+type Bitset struct {
+	words []uint32
+	n     int
+}
+
+// NewBitset returns a bitset over n bits, all clear.
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint32, (n+31)/32), n: n}
+}
+
+// Len reports the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// TestAndSet atomically sets bit i, returning true iff this call changed it
+// from 0 to 1.
+func (b *Bitset) TestAndSet(i uint32) bool {
+	w := &b.words[i/32]
+	mask := uint32(1) << (i % 32)
+	for {
+		old := atomic.LoadUint32(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Set sets bit i (non-atomic fast path for single-writer phases).
+func (b *Bitset) Set(i uint32) { b.words[i/32] |= uint32(1) << (i % 32) }
+
+// AtomicSet atomically sets bit i without reporting whether it changed.
+func (b *Bitset) AtomicSet(i uint32) {
+	w := &b.words[i/32]
+	mask := uint32(1) << (i % 32)
+	for {
+		old := atomic.LoadUint32(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint32(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// Get reports bit i. It uses an atomic load so it is safe to call
+// concurrently with TestAndSet.
+func (b *Bitset) Get(i uint32) bool {
+	return atomic.LoadUint32(&b.words[i/32])&(uint32(1)<<(i%32)) != 0
+}
+
+// Clear resets all bits.
+func (b *Bitset) Clear() {
+	Fill(b.words, 0)
+}
+
+// Words exposes the underlying words (for size accounting).
+func (b *Bitset) Words() int { return len(b.words) }

@@ -1,0 +1,55 @@
+package parallel
+
+// KeyCount is one output row of a histogram: a key and the number of times
+// it occurred in the input multiset.
+type KeyCount struct {
+	Key   uint32
+	Count uint32
+}
+
+// Histogram computes, for a multiset of uint32 keys, the distinct keys and
+// their multiplicities. It is the sparse histogram primitive used by the
+// k-core and densest-subgraph peeling algorithms (§4.3.4): the returned
+// pairs are in ascending key order. The implementation sorts the keys in
+// parallel (a stand-in for the semisort used by GBBS) and then reduces the
+// runs, so the work is O(k log k) for k keys and the intermediate space is
+// O(k) — proportional to the frontier's edge count, never to m.
+func Histogram(keys []uint32) []KeyCount {
+	k := len(keys)
+	if k == 0 {
+		return nil
+	}
+	sorted := make([]uint32, k)
+	Copy(sorted, keys)
+	SortUint32(sorted)
+	return countRuns(sorted)
+}
+
+// HistogramInPlace is Histogram but permutes the caller's slice instead of
+// copying it.
+func HistogramInPlace(keys []uint32) []KeyCount {
+	if len(keys) == 0 {
+		return nil
+	}
+	SortUint32(keys)
+	return countRuns(keys)
+}
+
+// countRuns converts a sorted key slice into (key, count) pairs.
+func countRuns(sorted []uint32) []KeyCount {
+	k := len(sorted)
+	// A position starts a run if it is 0 or differs from its predecessor.
+	starts := PackIndex(k, func(i int) bool {
+		return i == 0 || sorted[i] != sorted[i-1]
+	})
+	out := make([]KeyCount, len(starts))
+	For(len(starts), 0, func(i int) {
+		lo := int(starts[i])
+		hi := k
+		if i+1 < len(starts) {
+			hi = int(starts[i+1])
+		}
+		out[i] = KeyCount{Key: sorted[lo], Count: uint32(hi - lo)}
+	})
+	return out
+}

@@ -1,0 +1,144 @@
+// Package parallel provides the fork-join substrate used by every other
+// package in this repository. It is the Go analogue of the binary-forking
+// (T-RAM) model that the Sage paper assumes (§3.1): a fixed pool of P
+// workers executes loop iterations in dynamically scheduled, grain-sized
+// blocks, which gives the same asymptotic guarantees as a work-stealing
+// scheduler for the data-parallel loops used by the algorithms.
+//
+// All primitives are deterministic with respect to their results (though
+// not with respect to scheduling), allocate O(P) control state, and expose
+// the worker index so that callers can maintain per-worker counters and
+// scratch without atomic contention.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers is the hard upper bound on the worker pool size, used to size
+// statically sharded data structures such as cost-model counters.
+const MaxWorkers = 256
+
+var numWorkers atomic.Int32
+
+func init() {
+	n := runtime.GOMAXPROCS(0)
+	if n > MaxWorkers {
+		n = MaxWorkers
+	}
+	numWorkers.Store(int32(n))
+}
+
+// SetWorkers sets the number of workers used by subsequent parallel
+// operations. It is used by the scalability experiments (Figure 6) to sweep
+// T1..Tp. Values are clamped to [1, MaxWorkers].
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxWorkers {
+		n = MaxWorkers
+	}
+	numWorkers.Store(int32(n))
+}
+
+// Workers reports the current worker pool size.
+func Workers() int { return int(numWorkers.Load()) }
+
+// DefaultGrain is the default number of loop iterations executed as one
+// sequential unit. It balances scheduling overhead against load balance.
+const DefaultGrain = 1024
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ForBlocks runs body(worker, lo, hi) over disjoint half-open blocks
+// [lo, hi) covering [0, n), each of size at most grain. Blocks are claimed
+// dynamically by an atomic counter so skewed blocks load-balance. If grain
+// is <= 0 the DefaultGrain is used. The worker argument is in [0, Workers())
+// and is stable for the duration of one body call, allowing per-worker
+// accumulation.
+func ForBlocks(n, grain int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Workers()
+	nBlocks := ceilDiv(n, grain)
+	if p == 1 || nBlocks == 1 {
+		for b := 0; b < nBlocks; b++ {
+			lo := b * grain
+			hi := min(lo+grain, n)
+			body(0, lo, hi)
+		}
+		return
+	}
+	if p > nBlocks {
+		p = nBlocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				lo := b * grain
+				hi := min(lo+grain, n)
+				body(worker, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// For runs body(i) for every i in [0, n) in parallel with the given grain.
+func For(n, grain int, body func(i int)) {
+	ForBlocks(n, grain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForWorker runs body(worker, i) for every i in [0, n) in parallel,
+// exposing the executing worker's index.
+func ForWorker(n, grain int, body func(worker, i int)) {
+	ForBlocks(n, grain, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(w, i)
+		}
+	})
+}
+
+// Do runs the given thunks concurrently and waits for all of them. It is
+// the binary-fork analogue for a small constant number of tasks.
+func Do(thunks ...func()) {
+	if len(thunks) == 0 {
+		return
+	}
+	if len(thunks) == 1 || Workers() == 1 {
+		for _, t := range thunks {
+			t()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, t := range thunks[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	thunks[0]()
+	wg.Wait()
+}

@@ -1,0 +1,196 @@
+package psam
+
+import (
+	"testing"
+
+	"sage/internal/parallel"
+)
+
+func TestCountsCost(t *testing.T) {
+	cfg := Config{NVRAMRead: 3, Omega: 4, MissCost: 3}
+	c := Counts{DRAMReads: 10, DRAMWrites: 5, NVRAMReads: 2, NVRAMWrites: 1, CacheMisses: 4}
+	// 10 + 5 + 3*2 + 3*4*1 + 3*4 = 45
+	if got := c.Cost(cfg); got != 45 {
+		t.Fatalf("cost=%d want 45", got)
+	}
+}
+
+func TestTrackerShardedConcurrent(t *testing.T) {
+	tr := NewTracker()
+	parallel.ForWorker(100_000, 16, func(w, _ int) {
+		tr.NVRAMRead(w, 1)
+		tr.DRAMWrite(w, 2)
+	})
+	tot := tr.Totals()
+	if tot.NVRAMReads != 100_000 || tot.DRAMWrites != 200_000 {
+		t.Fatalf("totals %+v", tot)
+	}
+	tr.Reset()
+	if tr.Totals() != (Counts{}) {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestOmegaScalesWriteCostOnly(t *testing.T) {
+	// The Sage claim: with zero NVRAM writes, cost is independent of ω.
+	sage := Counts{DRAMReads: 100, NVRAMReads: 50}
+	gbbs := Counts{DRAMReads: 100, NVRAMReads: 50, NVRAMWrites: 50}
+	for _, omega := range []int64{1, 4, 8, 16} {
+		cfg := Config{NVRAMRead: 3, Omega: omega}
+		if sage.Cost(cfg) != 250 {
+			t.Fatalf("sage cost varies with omega: %d", sage.Cost(cfg))
+		}
+		want := 250 + 3*omega*50
+		if gbbs.Cost(cfg) != want {
+			t.Fatalf("gbbs cost %d want %d", gbbs.Cost(cfg), want)
+		}
+	}
+}
+
+func TestCacheHitsAfterFill(t *testing.T) {
+	c := NewCache(1 << 20) // plenty of lines
+	h, m, wb := c.AccessRange(0, 1024, false)
+	if h != 0 || m != 1024/CacheBlockWords || wb != 0 {
+		t.Fatalf("cold: h=%d m=%d wb=%d", h, m, wb)
+	}
+	h, m, _ = c.AccessRange(0, 1024, false)
+	if m != 0 || h != 1024/CacheBlockWords {
+		t.Fatalf("warm: h=%d m=%d", h, m)
+	}
+}
+
+func TestCacheConflictMisses(t *testing.T) {
+	c := NewCache(CacheBlockWords) // exactly one line
+	c.AccessRange(0, 1, false)
+	// A different block mapping to the same line must evict.
+	h, m, _ := c.AccessRange(int64(CacheBlockWords)*int64(c.Lines()), 1, false)
+	if h != 0 || m != 1 {
+		t.Fatalf("conflict: h=%d m=%d", h, m)
+	}
+	h, _, _ = c.AccessRange(0, 1, false)
+	if h != 0 {
+		t.Fatal("expected the original block to be evicted")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(CacheBlockWords) // one line
+	c.AccessRange(0, 1, true)      // dirty fill
+	_, _, wb := c.AccessRange(int64(CacheBlockWords)*int64(c.Lines()), 1, false)
+	if wb != 1 {
+		t.Fatalf("writebacks=%d want 1", wb)
+	}
+}
+
+func TestCachePartialBlockCountsOnce(t *testing.T) {
+	c := NewCache(1 << 16)
+	// Words 5..10 live in one block.
+	_, m, _ := c.AccessRange(5, 6, false)
+	if m != 1 {
+		t.Fatalf("misses=%d want 1", m)
+	}
+}
+
+func TestEnvModes(t *testing.T) {
+	for _, mode := range []Mode{DRAMOnly, AppDirect, NVRAMAll} {
+		e := NewEnv(mode)
+		e.GraphRead(0, 0, 100)
+		e.StateWrite(0, 10)
+		tot := e.Totals()
+		switch mode {
+		case DRAMOnly:
+			if tot.DRAMReads != 100 || tot.NVRAMReads != 0 || tot.DRAMWrites != 10 {
+				t.Fatalf("DRAMOnly: %+v", tot)
+			}
+		case AppDirect:
+			if tot.NVRAMReads != 100 || tot.DRAMWrites != 10 || tot.NVRAMWrites != 0 {
+				t.Fatalf("AppDirect: %+v", tot)
+			}
+		case NVRAMAll:
+			if tot.NVRAMReads != 100 || tot.NVRAMWrites != 10 {
+				t.Fatalf("NVRAMAll: %+v", tot)
+			}
+		}
+	}
+}
+
+func TestEnvMemoryMode(t *testing.T) {
+	e := NewEnv(MemoryMode).WithCache(1 << 20)
+	e.GraphRead(0, 0, 1000)
+	tot := e.Totals()
+	if tot.CacheMisses == 0 {
+		t.Fatal("no cold misses recorded")
+	}
+	e.GraphRead(0, 0, 1000)
+	tot2 := e.Totals()
+	if tot2.CacheHits <= tot.CacheHits {
+		t.Fatal("no hits on re-read")
+	}
+}
+
+func TestNilEnvSafe(t *testing.T) {
+	var e *Env
+	e.GraphRead(0, 0, 10)
+	e.GraphWrite(0, 0, 10)
+	e.StateRead(0, 10)
+	e.StateWrite(0, 10)
+	e.Alloc(5)
+	e.Free(5)
+	e.Reset()
+	if e.Cost() != 0 {
+		t.Fatal("nil env cost")
+	}
+}
+
+func TestSpacePeak(t *testing.T) {
+	s := NewSpace()
+	s.Alloc(100)
+	s.Alloc(50)
+	s.Free(100)
+	s.Alloc(20)
+	if s.Peak() != 150 {
+		t.Fatalf("peak=%d want 150", s.Peak())
+	}
+	if s.Current() != 70 {
+		t.Fatalf("cur=%d want 70", s.Current())
+	}
+}
+
+func TestSpaceConcurrentPeak(t *testing.T) {
+	s := NewSpace()
+	parallel.For(10_000, 16, func(int) {
+		s.Alloc(3)
+		s.Free(3)
+	})
+	if s.Current() != 0 {
+		t.Fatalf("cur=%d want 0", s.Current())
+	}
+	if s.Peak() < 3 {
+		t.Fatalf("peak=%d", s.Peak())
+	}
+}
+
+func TestThrottleNilSafe(t *testing.T) {
+	var th *Throttle
+	th.NVRAMReadDelay(10)
+	th.NVRAMWriteDelay(10)
+	th2 := NewThrottle(DefaultConfig(), 2)
+	if th2.ReadSpinPerWord != 0 || th2.WriteSpinPerWord != 22 {
+		t.Fatalf("spin config %+v", th2)
+	}
+	th2.NVRAMReadDelay(1)
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{
+		DRAMOnly:   "DRAM",
+		AppDirect:  "NVRAM(AppDirect)",
+		MemoryMode: "NVRAM(MemoryMode)",
+		NVRAMAll:   "NVRAM(libvmmalloc)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d -> %s", m, m.String())
+		}
+	}
+}

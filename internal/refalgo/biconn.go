@@ -1,0 +1,116 @@
+package refalgo
+
+import (
+	"sage/internal/graph"
+)
+
+// Biconnected returns, for every undirected edge {u, v} with u < v, a
+// canonical biconnected-component id, computed with the classic iterative
+// Hopcroft–Tarjan edge-stack algorithm. The ids are arbitrary but
+// consistent: edges share an id iff they share a biconnected component.
+func Biconnected(g *graph.Graph) map[[2]uint32]int {
+	n := int(g.NumVertices())
+	num := make([]int, n) // DFS discovery order, 0 = unvisited
+	low := make([]int, n)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	labels := make(map[[2]uint32]int)
+	var stack [][2]uint32
+	counter := 0
+	comp := 0
+
+	canon := func(a, b uint32) [2]uint32 {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]uint32{a, b}
+	}
+
+	type frame struct {
+		v  uint32
+		ei int
+	}
+	for s := 0; s < n; s++ {
+		if num[s] != 0 {
+			continue
+		}
+		counter++
+		num[s] = counter
+		low[s] = counter
+		st := []frame{{v: uint32(s)}}
+		for len(st) > 0 {
+			f := &st[len(st)-1]
+			v := f.v
+			nghs := g.Neighbors(v)
+			if f.ei < len(nghs) {
+				u := nghs[f.ei]
+				f.ei++
+				if num[u] == 0 {
+					parent[u] = int32(v)
+					stack = append(stack, canon(v, u))
+					counter++
+					num[u] = counter
+					low[u] = counter
+					st = append(st, frame{v: u})
+				} else if int32(u) != parent[v] && num[u] < num[v] {
+					stack = append(stack, canon(v, u))
+					if num[u] < low[v] {
+						low[v] = num[u]
+					}
+				}
+				continue
+			}
+			// Post-visit: pop and propagate low to the parent; emit a
+			// component if v's subtree cannot reach above parent.
+			st = st[:len(st)-1]
+			if len(st) == 0 {
+				continue
+			}
+			p := st[len(st)-1].v
+			if low[v] < low[p] {
+				low[p] = low[v]
+			}
+			if low[v] >= num[p] {
+				// New biconnected component: pop edges down to (p, v).
+				comp++
+				target := canon(p, v)
+				for len(stack) > 0 {
+					e := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					labels[e] = comp
+					if e == target {
+						break
+					}
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// SamePartition reports whether two edge labelings induce the same
+// partition over the same edge set.
+func SamePartition(a map[[2]uint32]int, b map[[2]uint32]uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := map[int]uint32{}
+	rev := map[uint32]int{}
+	for e, la := range a {
+		lb, ok := b[e]
+		if !ok {
+			return false
+		}
+		if x, seen := fwd[la]; seen && x != lb {
+			return false
+		}
+		if x, seen := rev[lb]; seen && x != la {
+			return false
+		}
+		fwd[la] = lb
+		rev[lb] = la
+	}
+	return true
+}

@@ -1,0 +1,171 @@
+package refalgo
+
+import (
+	"math"
+	"sort"
+
+	"sage/internal/graph"
+)
+
+// KCliques counts k-cliques by brute-force extension over the ordered
+// DAG (exponential in k; use on small graphs only).
+func KCliques(g *graph.Graph, k int) int64 {
+	n := g.NumVertices()
+	rankLess := func(a, b uint32) bool {
+		da, db := g.Degree(a), g.Degree(b)
+		if da != db {
+			return da < db
+		}
+		return a < b
+	}
+	out := make([][]uint32, n)
+	for v := uint32(0); v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			if rankLess(v, u) {
+				out[v] = append(out[v], u)
+			}
+		}
+		sort.Slice(out[v], func(i, j int) bool { return out[v][i] < out[v][j] })
+	}
+	var count int64
+	var extend func(cands []uint32, remaining int)
+	extend = func(cands []uint32, remaining int) {
+		if remaining == 0 {
+			count++
+			return
+		}
+		if len(cands) < remaining {
+			return
+		}
+		for _, u := range cands {
+			extend(intersectSorted(cands, out[u]), remaining-1)
+		}
+	}
+	for v := uint32(0); v < n; v++ {
+		extend(out[v], k-1)
+	}
+	return count
+}
+
+func intersectSorted(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// PersonalizedPageRank runs sequential power iteration with restart.
+func PersonalizedPageRank(g *graph.Graph, src uint32, damping, eps float64, maxIters int) []float64 {
+	n := int(g.NumVertices())
+	prev := make([]float64, n)
+	next := make([]float64, n)
+	prev[src] = 1
+	for it := 0; it < maxIters; it++ {
+		var diff float64
+		for v := 0; v < n; v++ {
+			var acc float64
+			for _, u := range g.Neighbors(uint32(v)) {
+				acc += prev[u] / float64(g.Degree(u))
+			}
+			nv := damping * acc
+			if uint32(v) == src {
+				nv += 1 - damping
+			}
+			diff += math.Abs(nv - prev[v])
+			next[v] = nv
+		}
+		prev, next = next, prev
+		if diff < eps {
+			break
+		}
+	}
+	return prev
+}
+
+// Trussness computes edge trussness by sequential min-support peeling
+// (trussness = 2 + the peeling level at removal).
+func Trussness(g *graph.Graph) map[[2]uint32]uint32 {
+	type edge struct{ u, v uint32 }
+	support := map[edge]int{}
+	canon := func(a, b uint32) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	var edges []edge
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				edges = append(edges, edge{v, u})
+			}
+		}
+	}
+	common := func(u, v uint32) []uint32 {
+		return intersectSorted(g.Neighbors(u), g.Neighbors(v))
+	}
+	for _, e := range edges {
+		support[e] = len(common(e.u, e.v))
+	}
+	removed := map[edge]bool{}
+	truss := map[[2]uint32]uint32{}
+	remaining := len(edges)
+	level := 0
+	for remaining > 0 {
+		// Minimum current support.
+		minS := math.MaxInt
+		for _, e := range edges {
+			if !removed[e] && support[e] < minS {
+				minS = support[e]
+			}
+		}
+		if minS > level {
+			level = minS
+		}
+		// Peel every edge at or below the level (cascading).
+		for {
+			var peel []edge
+			for _, e := range edges {
+				if !removed[e] && support[e] <= level {
+					peel = append(peel, e)
+				}
+			}
+			if len(peel) == 0 {
+				break
+			}
+			for _, e := range peel {
+				if removed[e] {
+					continue
+				}
+				removed[e] = true
+				remaining--
+				truss[[2]uint32{e.u, e.v}] = uint32(level) + 2
+				for _, w := range common(e.u, e.v) {
+					e1 := canon(e.u, w)
+					e2 := canon(e.v, w)
+					if removed[e1] || removed[e2] {
+						continue
+					}
+					if support[e1] > level {
+						support[e1]--
+					}
+					if support[e2] > level {
+						support[e2]--
+					}
+				}
+			}
+		}
+	}
+	return truss
+}

@@ -1,0 +1,172 @@
+package refalgo
+
+import (
+	"testing"
+
+	"sage/internal/gen"
+	"sage/internal/graph"
+)
+
+// The oracles cross-check each other and a few closed-form cases, so a
+// bug in a reference cannot silently validate a matching bug in the
+// parallel implementations.
+
+func k(n uint32) *graph.Graph {
+	var edges []graph.Edge
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	return graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+}
+
+func TestDijkstraAgreesWithBellmanFord(t *testing.T) {
+	g := gen.AddUniformWeights(gen.RMAT(8, 8, 3), 5)
+	d1 := Dijkstra(g, 0)
+	d2 := BellmanFord(g, 0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("refs disagree at %d: %d vs %d", v, d1[v], d2[v])
+		}
+	}
+}
+
+func TestDijkstraUnweightedEqualsBFSHops(t *testing.T) {
+	g := gen.RMAT(8, 8, 7)
+	hops := BFSDistances(g, 0)
+	d := Dijkstra(g, 0)
+	for v := range hops {
+		if hops[v] == ^uint32(0) {
+			continue
+		}
+		if int64(hops[v]) != d[v] {
+			t.Fatalf("hop/weight mismatch at %d", v)
+		}
+	}
+}
+
+func TestTrianglesClosedForm(t *testing.T) {
+	// K_n has C(n,3) triangles.
+	if got := Triangles(k(4)); got != 4 {
+		t.Fatalf("K4: %d", got)
+	}
+	if got := Triangles(k(6)); got != 20 {
+		t.Fatalf("K6: %d", got)
+	}
+	if got := Triangles(gen.Chain(50)); got != 0 {
+		t.Fatalf("chain: %d", got)
+	}
+}
+
+func TestCorenessClosedForm(t *testing.T) {
+	core := Coreness(k(5))
+	for v, c := range core {
+		if c != 4 {
+			t.Fatalf("K5 vertex %d coreness %d", v, c)
+		}
+	}
+	core = Coreness(gen.Star(10))
+	if core[0] != 1 {
+		t.Fatalf("star center coreness %d", core[0])
+	}
+}
+
+func TestKCliquesClosedForm(t *testing.T) {
+	// C(6,4) = 15 four-cliques in K6.
+	if got := KCliques(k(6), 4); got != 15 {
+		t.Fatalf("K6 4-cliques: %d", got)
+	}
+	if got := KCliques(k(6), 3); got != Triangles(k(6)) {
+		t.Fatal("3-cliques != triangles")
+	}
+}
+
+func TestTrussnessClosedForm(t *testing.T) {
+	truss := Trussness(k(5))
+	for e, v := range truss {
+		if v != 5 {
+			t.Fatalf("K5 edge %v trussness %d", e, v)
+		}
+	}
+}
+
+func TestBiconnectedBridge(t *testing.T) {
+	// Path a-b-c: both edges are bridges (distinct components).
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, graph.BuildOpts{Symmetrize: true})
+	labels := Biconnected(g)
+	if len(labels) != 2 {
+		t.Fatalf("expected 2 labeled edges, got %d", len(labels))
+	}
+	if labels[[2]uint32{0, 1}] == labels[[2]uint32{1, 2}] {
+		t.Fatal("bridges must be distinct biconnected components")
+	}
+	// A cycle is one biconnected component.
+	cy := gen.Cycle(6)
+	labels = Biconnected(cy)
+	first := -1
+	for _, l := range labels {
+		if first == -1 {
+			first = l
+		} else if l != first {
+			t.Fatal("cycle should be one biconnected component")
+		}
+	}
+}
+
+func TestGreedySetCoverCoversEverything(t *testing.T) {
+	sets := [][]uint32{{0, 1}, {1, 2}, {2, 3}, {0, 3}}
+	var edges []graph.Edge
+	for s, elems := range sets {
+		for _, e := range elems {
+			edges = append(edges, graph.Edge{U: uint32(s), V: 4 + e})
+		}
+	}
+	g := graph.FromEdges(8, edges, graph.BuildOpts{Symmetrize: true})
+	cover := GreedySetCover(g, 4)
+	covered := map[uint32]bool{}
+	for _, s := range cover {
+		for _, e := range sets[s] {
+			covered[e] = true
+		}
+	}
+	for e := uint32(0); e < 4; e++ {
+		if !covered[e] {
+			t.Fatalf("element %d uncovered", e)
+		}
+	}
+}
+
+func TestMaxDensityBounds(t *testing.T) {
+	// K6 has exact density (6-1)/2 = 2.5.
+	if d := MaxDensity(k(6)); d != 2.5 {
+		t.Fatalf("K6 density %.2f", d)
+	}
+	if d := MaxDensity(gen.Chain(10)); d <= 0 || d > 1 {
+		t.Fatalf("chain density %.2f", d)
+	}
+}
+
+func TestPageRankMassConserved(t *testing.T) {
+	g := gen.RMAT(8, 8, 9)
+	pr := PageRank(g, 1e-10, 100)
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if sum <= 0 || sum > 1.001 {
+		t.Fatalf("mass %v", sum)
+	}
+}
+
+func TestSameComponentsDetectsMismatch(t *testing.T) {
+	if !SameComponents([]uint32{0, 0, 2}, []uint32{5, 5, 9}) {
+		t.Fatal("isomorphic labelings rejected")
+	}
+	if SameComponents([]uint32{0, 0, 2}, []uint32{5, 6, 9}) {
+		t.Fatal("split not detected")
+	}
+	if SameComponents([]uint32{0, 1, 2}, []uint32{5, 5, 9}) {
+		t.Fatal("merge not detected")
+	}
+}

@@ -1,0 +1,232 @@
+// Package traverse implements the edgeMap family of graph-traversal
+// primitives (§2, §4.1): the pull-based dense traversal, the push-based
+// sparse traversal with its O(Σ deg) intermediate memory, the blocked
+// variant used by GBBS, and Sage's memory-efficient edgeMapChunked
+// (Algorithm 1), together with Beamer-style direction optimization.
+//
+// Every variant charges its graph accesses to the PSAM environment, and
+// its temporary allocations to the small-memory space tracker, so the
+// Table 5 memory comparison and the Figure 1/7 cost comparisons come
+// directly out of the same code paths that compute results.
+package traverse
+
+import (
+	"sage/internal/frontier"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+	"sage/internal/psam"
+)
+
+// Ops bundles the user functions of edgeMap (§2): Update is applied
+// non-atomically by the dense (pull) traversal, UpdateAtomic by the
+// push-based traversals (multiple sources may race on one target), and
+// Cond gates targets. Update functions return true iff the target should
+// join the output subset; Cond returning false both skips the target and
+// lets the dense traversal break out of its scan early.
+type Ops struct {
+	Update       func(s, d uint32, w int32) bool
+	UpdateAtomic func(s, d uint32, w int32) bool
+	Cond         func(d uint32) bool
+}
+
+// CondTrue is the always-true condition.
+func CondTrue(uint32) bool { return true }
+
+// Strategy selects the push-side implementation.
+type Strategy int
+
+const (
+	// Chunked is Sage's edgeMapChunked (§4.1.2): O(n) intermediate words.
+	Chunked Strategy = iota
+	// Blocked is GBBS's edgeMapBlocked: cache-friendly but O(Σ deg)
+	// intermediate memory.
+	Blocked
+	// Sparse is Ligra's original push traversal: O(Σ deg) memory and
+	// sentinel-filtered output.
+	Sparse
+)
+
+// String names the strategy as in Appendix D.2's Table 5.
+func (s Strategy) String() string {
+	switch s {
+	case Chunked:
+		return "edgeMapChunked"
+	case Blocked:
+		return "edgeMapBlocked"
+	case Sparse:
+		return "edgeMapSparse"
+	}
+	return "unknown"
+}
+
+// Options configures a traversal.
+type Options struct {
+	// Strategy is the push-side implementation (default Chunked).
+	Strategy Strategy
+	// DenseThresholdDen is the direction-optimization denominator: the
+	// traversal runs dense when |U| + Σ_{u∈U} deg(u) > m/Den. Zero means
+	// the Ligra default of 20.
+	DenseThresholdDen int
+	// ForceSparse disables switching to the dense traversal (the
+	// "sparse-only" configuration of Appendix D.2).
+	ForceSparse bool
+	// ForceDense always runs the dense traversal.
+	ForceDense bool
+	// NoOutput skips building the output subset (for edgeMaps used only
+	// for their side effects).
+	NoOutput bool
+	// Dedup removes duplicate targets from sparse outputs (needed when
+	// UpdateAtomic can return true more than once per target).
+	Dedup bool
+}
+
+// EdgeMap applies ops over the edges out of vs and returns the subset of
+// targets for which an update succeeded (Theorem 4.1: O(Σ deg) work,
+// O(log n) depth, O(n) small-memory words with the Chunked strategy).
+func EdgeMap(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt Options) *frontier.VertexSubset {
+	n := g.NumVertices()
+	if vs.Size() == 0 {
+		return frontier.Empty(n)
+	}
+	if opt.DenseThresholdDen == 0 {
+		opt.DenseThresholdDen = 20
+	}
+	outDeg := frontierDegree(g, env, vs)
+	threshold := int64(g.NumEdges()) / int64(opt.DenseThresholdDen)
+	dense := opt.ForceDense || (!opt.ForceSparse && outDeg+int64(vs.Size()) > threshold)
+	if dense {
+		return edgeMapDense(g, env, vs, ops, opt)
+	}
+	switch opt.Strategy {
+	case Blocked:
+		return edgeMapBlocked(g, env, vs, ops, opt, outDeg)
+	case Sparse:
+		return edgeMapSparse(g, env, vs, ops, opt, outDeg)
+	default:
+		return EdgeMapChunked(g, env, vs, ops, opt)
+	}
+}
+
+// frontierDegree computes Σ_{u∈U} deg(u), charging the offset reads.
+func frontierDegree(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset) int64 {
+	if vs.IsDense() {
+		d := vs.Dense()
+		return parallel.ReduceSum(int(g.NumVertices()), 0, func(i int) int64 {
+			if d[i] {
+				return int64(g.Degree(uint32(i)))
+			}
+			return 0
+		})
+	}
+	sp := vs.Sparse()
+	total := parallel.ReduceSum(len(sp), 0, func(i int) int64 {
+		return int64(g.Degree(sp[i]))
+	})
+	env.GraphRead(0, 0, int64(len(sp))) // offset reads
+	return total
+}
+
+// edgeMapDense is the pull-based traversal: every vertex satisfying Cond
+// scans its in-edges (equal to out-edges on symmetric graphs) for frontier
+// members, stopping as soon as Cond(d) turns false.
+func edgeMapDense(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt Options) *frontier.VertexSubset {
+	n := g.NumVertices()
+	from := vs.Dense()
+	var out []bool
+	if !opt.NoOutput {
+		out = make([]bool, n)
+		env.Alloc(int64(n+7) / 8)
+	}
+	var outCounts [parallel.MaxWorkers]struct {
+		c int64
+		_ [56]byte
+	}
+	parallel.ForBlocks(int(n), 256, func(w, lo, hi int) {
+		var scanned, produced int64
+		for i := lo; i < hi; i++ {
+			d := uint32(i)
+			if !ops.Cond(d) {
+				continue
+			}
+			deg := g.Degree(d)
+			g.IterRange(d, 0, deg, func(j, s uint32, wt int32) bool {
+				scanned++
+				if from[s] && ops.Update(s, d, wt) {
+					if out != nil && !out[d] {
+						out[d] = true
+						produced++
+					}
+				}
+				return ops.Cond(d)
+			})
+		}
+		env.GraphRead(w, 0, scanned)
+		env.StateRead(w, scanned)
+		env.StateWrite(w, produced)
+		outCounts[w].c += produced
+	})
+	if opt.NoOutput {
+		return frontier.Empty(n)
+	}
+	var total int64
+	for i := range outCounts {
+		total += outCounts[i].c
+	}
+	return frontier.FromDense(n, out, int(total))
+}
+
+// edgeMapSparse is Ligra's push traversal: it allocates an output array
+// proportional to the frontier's out-degree, writes winners (or a
+// sentinel), and filters. Its O(Σ deg) allocation is the PSAM violation
+// that motivates edgeMapChunked (§4.1.1).
+func edgeMapSparse(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt Options, outDeg int64) *frontier.VertexSubset {
+	n := g.NumVertices()
+	sp := vs.Sparse()
+	const sentinel = ^uint32(0)
+	offs := make([]int64, len(sp)+1)
+	parallel.For(len(sp), 0, func(i int) { offs[i] = int64(g.Degree(sp[i])) })
+	parallel.Scan(offs)
+	out := make([]uint32, outDeg)
+	env.Alloc(outDeg + int64(len(sp)))
+	defer env.Free(outDeg + int64(len(sp)))
+	parallel.ForWorker(len(sp), 16, func(w, i int) {
+		u := sp[i]
+		deg := g.Degree(u)
+		base := offs[i]
+		env.GraphRead(w, g.EdgeAddr(u), g.ScanCost(u, 0, deg))
+		var produced int64
+		g.IterRange(u, 0, deg, func(j, d uint32, wt int32) bool {
+			if ops.Cond(d) && ops.UpdateAtomic(u, d, wt) {
+				out[base+int64(j)] = d
+				produced++
+			} else {
+				out[base+int64(j)] = sentinel
+			}
+			return true
+		})
+		env.StateRead(w, int64(deg))
+		env.StateWrite(w, int64(deg)) // sentinel or winner written per edge
+	})
+	if opt.NoOutput {
+		return frontier.Empty(n)
+	}
+	res := parallel.Filter(out, func(v uint32) bool { return v != sentinel })
+	if opt.Dedup {
+		res = dedup(n, env, res)
+	}
+	env.Alloc(int64(len(res)))
+	return frontier.FromSparse(n, res)
+}
+
+// dedup removes duplicate ids with a shared bitset.
+func dedup(n uint32, env *psam.Env, ids []uint32) []uint32 {
+	seen := parallel.NewBitset(int(n))
+	env.Alloc(int64(seen.Words()) / 2)
+	defer env.Free(int64(seen.Words()) / 2)
+	keep := make([]bool, len(ids))
+	parallel.ForWorker(len(ids), 0, func(w, i int) {
+		keep[i] = seen.TestAndSet(ids[i])
+		env.StateWrite(w, 1)
+	})
+	return parallel.FilterIndex(ids, func(i int, _ uint32) bool { return keep[i] })
+}

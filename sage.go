@@ -1,0 +1,226 @@
+// Package sage is a Go implementation of Sage, the parallel
+// semi-asymmetric graph engine of Dhulipala et al. (VLDB 2020): graph
+// algorithms that treat the graph as a read-only structure residing in
+// NVRAM and keep mutable state proportional to the number of vertices in
+// DRAM, eliminating NVRAM writes entirely.
+//
+// Real Optane hardware is not required: the engine runs against a
+// simulated two-tier memory (the Parallel Semi-Asymmetric Model, PSAM)
+// that charges every graph and state access to the appropriate account,
+// so programs observe both real wall-clock parallel performance and the
+// deterministic PSAM cost that the paper's evaluation is framed in.
+//
+// A minimal session:
+//
+//	g := sage.GenerateRMAT(18, 16, 1)
+//	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
+//	parents := e.BFS(g, 0)
+//	fmt.Println(e.Stats())
+package sage
+
+import (
+	"fmt"
+	"os"
+
+	"sage/internal/compress"
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+	"sage/internal/psam"
+	"sage/internal/traverse"
+)
+
+// Mode selects where the simulated graph lives (§5.1.2, §5.4).
+type Mode = psam.Mode
+
+// Memory configurations, re-exported from the PSAM model.
+const (
+	// DRAM stores graph and state in DRAM (the in-memory baseline).
+	DRAM = psam.DRAMOnly
+	// AppDirect stores the graph in byte-addressable NVRAM and all
+	// mutable state in DRAM — Sage's configuration.
+	AppDirect = psam.AppDirect
+	// MemoryMode stores the graph behind a direct-mapped DRAM cache.
+	MemoryMode = psam.MemoryMode
+	// NVRAMAll stores graph and temporaries in NVRAM (the libvmmalloc
+	// emulation of Figure 7).
+	NVRAMAll = psam.NVRAMAll
+)
+
+// Strategy selects the sparse traversal implementation (§4.1).
+type Strategy = traverse.Strategy
+
+// Traversal strategies.
+const (
+	// Chunked is Sage's edgeMapChunked: O(n) intermediate memory.
+	Chunked = traverse.Chunked
+	// Blocked is GBBS's edgeMapBlocked baseline.
+	Blocked = traverse.Blocked
+	// Sparse is Ligra's original push traversal.
+	Sparse = traverse.Sparse
+)
+
+// Graph is an immutable graph handle: an uncompressed CSR or a
+// byte-compressed representation, optionally weighted.
+type Graph struct {
+	adj graph.Adj
+	raw *graph.Graph // non-nil iff uncompressed
+}
+
+// NumVertices returns n.
+func (g *Graph) NumVertices() uint32 { return g.adj.NumVertices() }
+
+// NumEdges returns the number of stored arcs (2x the undirected edges).
+func (g *Graph) NumEdges() uint64 { return g.adj.NumEdges() }
+
+// Weighted reports whether edges carry integer weights.
+func (g *Graph) Weighted() bool { return g.adj.Weighted() }
+
+// Compressed reports whether the graph uses the byte-compressed format.
+func (g *Graph) Compressed() bool { return g.raw == nil }
+
+// Degree returns deg(v).
+func (g *Graph) Degree(v uint32) uint32 { return g.adj.Degree(v) }
+
+// SizeWords returns the simulated NVRAM footprint.
+func (g *Graph) SizeWords() int64 {
+	if g.raw != nil {
+		return g.raw.SizeWords()
+	}
+	return g.adj.(*compress.CGraph).SizeWords()
+}
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// WeightedEdge is an edge with an integer weight.
+type WeightedEdge = graph.WEdge
+
+// FromEdges builds a symmetrized, deduplicated graph over n vertices.
+func FromEdges(n uint32, edges []Edge) *Graph {
+	raw := graph.FromEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+	return &Graph{adj: raw, raw: raw}
+}
+
+// FromWeightedEdges builds a symmetrized weighted graph.
+func FromWeightedEdges(n uint32, edges []WeightedEdge) *Graph {
+	raw := graph.FromWeightedEdges(n, edges, graph.BuildOpts{Symmetrize: true})
+	return &Graph{adj: raw, raw: raw}
+}
+
+// GenerateRMAT generates a symmetrized R-MAT graph with 2^logN vertices
+// and ~avgDeg·2^logN arcs (the stand-in for the paper's social/web
+// inputs).
+func GenerateRMAT(logN, avgDeg int, seed uint64) *Graph {
+	raw := gen.RMAT(logN, avgDeg, seed)
+	return &Graph{adj: raw, raw: raw}
+}
+
+// GenerateErdosRenyi generates a G(n, m) random graph.
+func GenerateErdosRenyi(n uint32, m int, seed uint64) *Graph {
+	raw := gen.ErdosRenyi(n, m, seed)
+	return &Graph{adj: raw, raw: raw}
+}
+
+// GeneratePowerLaw generates a preferential-attachment graph with ~d
+// edges per vertex.
+func GeneratePowerLaw(n uint32, d int, seed uint64) *Graph {
+	raw := gen.PowerLaw(n, d, seed)
+	return &Graph{adj: raw, raw: raw}
+}
+
+// GenerateGrid generates a rows×cols lattice (torus if wrap).
+func GenerateGrid(rows, cols uint32, wrap bool) *Graph {
+	raw := gen.Grid2D(rows, cols, wrap)
+	return &Graph{adj: raw, raw: raw}
+}
+
+// WithUniformWeights returns a weighted copy with weights uniform in
+// [1, log2 n), the paper's weighting (§5.1.3).
+func (g *Graph) WithUniformWeights(seed uint64) *Graph {
+	if g.raw == nil {
+		panic("sage: weight a graph before compressing it")
+	}
+	raw := gen.AddUniformWeights(g.raw, seed)
+	return &Graph{adj: raw, raw: raw}
+}
+
+// Compress returns the byte-compressed representation with the given
+// compression block size (64/128/256; §4.2.1, Table 4). Weighted graphs
+// interleave zigzag-varint weights per edge, as Ligra+ does.
+func (g *Graph) Compress(blockSize int) *Graph {
+	if g.raw == nil {
+		return g
+	}
+	return &Graph{adj: compress.Compress(g.raw, blockSize)}
+}
+
+// Load reads a graph in the binary format written by Save.
+func Load(path string) (*Graph, error) {
+	raw, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{adj: raw, raw: raw}, nil
+}
+
+// Save writes the graph in the binary format.
+func (g *Graph) Save(path string) error {
+	if g.raw == nil {
+		return fmt.Errorf("sage: saving compressed graphs is not supported")
+	}
+	return g.raw.SaveFile(path)
+}
+
+// Raw exposes the underlying adjacency (for the experiment harness).
+func (g *Graph) Raw() graph.Adj { return g.adj }
+
+// RawCSR exposes the CSR representation, or nil for compressed graphs.
+func (g *Graph) RawCSR() *graph.Graph { return g.raw }
+
+// SetWorkers sets the global worker-pool size (T1..Tp sweeps, Figure 6).
+func SetWorkers(n int) { parallel.SetWorkers(n) }
+
+// Workers reports the current worker-pool size.
+func Workers() int { return parallel.Workers() }
+
+// LoadText reads a graph in the Ligra "AdjacencyGraph" /
+// "WeightedAdjacencyGraph" text format used by the paper's code base.
+func LoadText(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	raw, err := graph.ReadText(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{adj: raw, raw: raw}, nil
+}
+
+// SaveText writes the graph in the Ligra text format.
+func (g *Graph) SaveText(path string) error {
+	if g.raw == nil {
+		return fmt.Errorf("sage: saving compressed graphs is not supported")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := g.raw.WriteText(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// RelabelByDegree returns a copy of the graph renumbered hubs-first — the
+// ordering knob whose effect on triangle counting Appendix D.1 studies.
+func (g *Graph) RelabelByDegree() *Graph {
+	if g.raw == nil {
+		panic("sage: relabel before compressing")
+	}
+	raw := g.raw.Relabel(g.raw.DegreeOrder())
+	return &Graph{adj: raw, raw: raw}
+}

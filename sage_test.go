@@ -1,0 +1,288 @@
+package sage_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sage"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := sage.GenerateRMAT(10, 8, 1)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
+	parents := e.BFS(g, 0)
+	if parents[0] != 0 {
+		t.Fatal("source not its own parent")
+	}
+	st := e.Stats()
+	if st.NVRAMWrites != 0 {
+		t.Fatalf("sage wrote %d NVRAM words", st.NVRAMWrites)
+	}
+	if st.NVRAMReads == 0 || st.PSAMCost == 0 {
+		t.Fatal("no accounting recorded")
+	}
+	e.ResetStats()
+	if e.Stats().PSAMCost != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPublicAPIAllAlgorithms(t *testing.T) {
+	g := sage.GenerateRMAT(9, 8, 2)
+	wg := g.WithUniformWeights(3)
+	e := sage.NewEngine()
+
+	if got := e.BFS(g, 0); len(got) != int(g.NumVertices()) {
+		t.Fatal("bfs")
+	}
+	if got := e.WBFS(wg, 0); got[0] != 0 {
+		t.Fatal("wbfs")
+	}
+	if got := e.BellmanFord(wg, 0); got[0] != 0 {
+		t.Fatal("bellman-ford")
+	}
+	if got := e.WidestPath(wg, 0); len(got) == 0 {
+		t.Fatal("widest")
+	}
+	if got := e.WidestPathBucketed(wg, 0); len(got) == 0 {
+		t.Fatal("widest bucketed")
+	}
+	if got := e.Betweenness(g, 0); got[0] != 0 {
+		t.Fatal("betweenness source dependency must be 0")
+	}
+	if got := e.Spanner(g, 4); len(got) == 0 {
+		t.Fatal("spanner")
+	}
+	if got := e.LDD(g, 0.2); len(got.Cluster) == 0 {
+		t.Fatal("ldd")
+	}
+	if got := e.Connectivity(g); len(got) == 0 {
+		t.Fatal("connectivity")
+	}
+	if got := e.SpanningForest(g); len(got) == 0 {
+		t.Fatal("forest")
+	}
+	if got := e.Biconnectivity(g); len(got.Label) == 0 {
+		t.Fatal("biconnectivity")
+	}
+	if got := e.MIS(g); len(got) == 0 {
+		t.Fatal("mis")
+	}
+	if got := e.MaximalMatching(g); len(got) == 0 {
+		t.Fatal("matching")
+	}
+	if got := e.Coloring(g); len(got) == 0 {
+		t.Fatal("coloring")
+	}
+	if got := e.KCore(g); len(got) == 0 {
+		t.Fatal("kcore")
+	}
+	if got := e.ApproxDensestSubgraph(g); got.Density <= 0 {
+		t.Fatal("densest")
+	}
+	if got := e.TriangleCount(g); got.Count < 0 {
+		t.Fatal("triangles")
+	}
+	if ranks, iters := e.PageRank(g, 1e-6, 50); len(ranks) == 0 || iters == 0 {
+		t.Fatal("pagerank")
+	}
+}
+
+func TestPublicAPICompressedParity(t *testing.T) {
+	g := sage.GenerateRMAT(9, 10, 4)
+	cg := g.Compress(64)
+	if !cg.Compressed() || g.Compressed() {
+		t.Fatal("compression flags")
+	}
+	e1 := sage.NewEngine()
+	e2 := sage.NewEngine()
+	a := e1.Connectivity(g)
+	b := e2.Connectivity(cg)
+	for v := range a {
+		if (a[v] == a[0]) != (b[v] == b[0]) {
+			t.Fatal("compressed connectivity differs")
+		}
+	}
+	t1 := e1.TriangleCount(g).Count
+	t2 := sage.NewEngine(sage.WithFilterBlockSize(64)).TriangleCount(cg).Count
+	if t1 != t2 {
+		t.Fatalf("triangle counts differ: %d vs %d", t1, t2)
+	}
+}
+
+func TestPublicAPISaveLoad(t *testing.T) {
+	g := sage.GenerateGrid(16, 16, false).WithUniformWeights(5)
+	path := filepath.Join(t.TempDir(), "g.sg")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sage.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || !g2.Weighted() {
+		t.Fatal("round trip mismatch")
+	}
+	e := sage.NewEngine()
+	d1 := e.WBFS(g, 0)
+	d2 := e.WBFS(g2, 0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatal("distances differ after reload")
+		}
+	}
+}
+
+func TestPublicAPIFromEdges(t *testing.T) {
+	g := sage.FromEdges(4, []sage.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	if g.NumEdges() != 6 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+	wg := sage.FromWeightedEdges(3, []sage.WeightedEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 2}})
+	e := sage.NewEngine()
+	d := e.WBFS(wg, 0)
+	if d[2] != 7 {
+		t.Fatalf("dist=%d want 7", d[2])
+	}
+}
+
+func TestEngineModes(t *testing.T) {
+	g := sage.GenerateRMAT(9, 8, 6)
+	for _, mode := range []sage.Mode{sage.DRAM, sage.AppDirect, sage.MemoryMode, sage.NVRAMAll} {
+		opts := []sage.Option{sage.WithMode(mode), sage.WithSeed(9)}
+		if mode == sage.MemoryMode {
+			opts = append(opts, sage.WithCache(g.SizeWords()/4))
+		}
+		e := sage.NewEngine(opts...)
+		labels := e.Connectivity(g)
+		if len(labels) != int(g.NumVertices()) {
+			t.Fatalf("mode %v: bad result", mode)
+		}
+		st := e.Stats()
+		switch mode {
+		case sage.DRAM:
+			if st.NVRAMReads != 0 {
+				t.Fatal("DRAM mode touched NVRAM")
+			}
+		case sage.AppDirect:
+			if st.NVRAMReads == 0 || st.NVRAMWrites != 0 {
+				t.Fatalf("AppDirect stats: %+v", st)
+			}
+		case sage.MemoryMode:
+			if st.CacheMisses == 0 {
+				t.Fatal("MemoryMode never missed")
+			}
+		}
+	}
+}
+
+func TestWorkersControl(t *testing.T) {
+	old := sage.Workers()
+	defer sage.SetWorkers(old)
+	sage.SetWorkers(2)
+	if sage.Workers() != 2 {
+		t.Fatal("SetWorkers")
+	}
+	g := sage.GenerateRMAT(8, 8, 7)
+	e := sage.NewEngine()
+	if got := e.BFS(g, 0); len(got) != int(g.NumVertices()) {
+		t.Fatal("bfs under 2 workers")
+	}
+}
+
+func TestCostModelOption(t *testing.T) {
+	g := sage.GenerateRMAT(9, 8, 8)
+	e1 := sage.NewEngine(sage.WithCostModel(1, 12))
+	e2 := sage.NewEngine(sage.WithCostModel(3, 12))
+	e1.BFS(g, 0)
+	e2.BFS(g, 0)
+	if e2.Stats().PSAMCost <= e1.Stats().PSAMCost {
+		t.Fatal("raising the read cost must raise the cost")
+	}
+}
+
+func TestPublicAPITextFormat(t *testing.T) {
+	g := sage.GenerateGrid(8, 8, false)
+	path := filepath.Join(t.TempDir(), "g.adj")
+	if err := g.SaveText(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sage.LoadText(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("text round trip")
+	}
+}
+
+func TestPublicAPIRelabelByDegree(t *testing.T) {
+	g := sage.GeneratePowerLaw(1<<10, 4, 3)
+	h := g.RelabelByDegree()
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatal("relabel changed the edge count")
+	}
+	// Hubs-first: vertex 0 of the relabeled graph has the max degree.
+	maxDeg := uint32(0)
+	for v := uint32(0); v < h.NumVertices(); v++ {
+		if h.Degree(v) > maxDeg {
+			maxDeg = h.Degree(v)
+		}
+	}
+	if h.Degree(0) != maxDeg {
+		t.Fatal("vertex 0 is not the hub after degree relabeling")
+	}
+	// Analytics agree across the relabeling.
+	e := sage.NewEngine()
+	if e.TriangleCount(g).Count != e.TriangleCount(h).Count {
+		t.Fatal("triangle count changed under relabeling")
+	}
+}
+
+func TestPublicAPILocalCluster(t *testing.T) {
+	g := sage.GeneratePowerLaw(1<<10, 6, 5)
+	e := sage.NewEngine()
+	res := e.LocalCluster(g, 0, 0.85, 100)
+	if len(res.Members) == 0 || res.Conductance <= 0 || res.Conductance > 1.01 {
+		t.Fatalf("cluster: %d members, conductance %.3f", len(res.Members), res.Conductance)
+	}
+}
+
+func TestPublicAPIExtensions(t *testing.T) {
+	g := sage.GenerateRMAT(9, 8, 11)
+	e := sage.NewEngine()
+	if c3 := e.KCliqueCount(g, 3); c3 != e.TriangleCount(g).Count {
+		t.Fatal("3-cliques != triangles")
+	}
+	ppr, _ := e.PersonalizedPageRank(g, 0, 0.85, 1e-9, 50)
+	var mass float64
+	for _, r := range ppr {
+		mass += r
+	}
+	if mass < 0.5 || mass > 1.001 {
+		t.Fatalf("ppr mass %.3f", mass)
+	}
+	res := e.KTruss(g)
+	if len(res.Trussness) == 0 {
+		t.Fatal("empty truss output")
+	}
+}
+
+func TestPublicAPIWeightedCompression(t *testing.T) {
+	g := sage.GenerateRMAT(9, 10, 31).WithUniformWeights(7)
+	cg := g.Compress(64)
+	if !cg.Weighted() {
+		t.Fatal("weights lost in compression")
+	}
+	e := sage.NewEngine()
+	d1 := e.WBFS(g, 0)
+	d2 := e.WBFS(cg, 0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("weighted compressed distance differs at %d", v)
+		}
+	}
+}
