@@ -1,0 +1,3 @@
+module sage
+
+go 1.24
