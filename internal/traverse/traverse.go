@@ -111,12 +111,14 @@ func EdgeMap(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt
 func frontierDegree(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset) int64 {
 	if vs.IsDense() {
 		d := vs.Dense()
-		return parallel.ReduceSum(int(g.NumVertices()), 0, func(i int) int64 {
+		total := parallel.ReduceSum(int(g.NumVertices()), 0, func(i int) int64 {
 			if d[i] {
 				return int64(g.Degree(uint32(i)))
 			}
 			return 0
 		})
+		env.GraphRead(0, 0, int64(g.NumVertices())) // offset reads (one degree per vertex)
+		return total
 	}
 	sp := vs.Sparse()
 	total := parallel.ReduceSum(len(sp), 0, func(i int) int64 {
