@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"testing"
+)
+
+// BenchmarkForBlocksOverhead measures the launch latency of a small
+// parallel loop — the cost every BFS/wBFS/KCore round pays once per
+// edgeMap and once per auxiliary loop. The work per block is trivial so
+// the measurement is dominated by scheduling. BENCH_hotpath.json records
+// the pre-refactor (goroutine-per-call) baseline.
+func BenchmarkForBlocksOverhead(b *testing.B) {
+	defer SetWorkers(Workers())
+	if Workers() < 4 {
+		// Single-CPU container: oversubscribe so the scheduling path is
+		// exercised rather than the serial fast path.
+		SetWorkers(4)
+	}
+	var sink [MaxWorkers]struct {
+		v int64
+		_ [56]byte
+	}
+	cases := []struct {
+		name     string
+		n, grain int
+	}{
+		{"n=4096,grain=256", 4096, 256},   // 16 blocks: a small frontier round
+		{"n=65536,grain=1024", 65536, 1024}, // 64 blocks: a mid-size loop
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ForBlocks(tc.n, tc.grain, func(w, lo, hi int) {
+					sink[w].v += int64(hi - lo)
+				})
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "launches/sec")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/launch")
+		})
+	}
+}
+
+// BenchmarkDoOverhead measures the fork-join cost of a two-task Do, the
+// primitive behind the recursive sorts.
+func BenchmarkDoOverhead(b *testing.B) {
+	defer SetWorkers(Workers())
+	if Workers() < 4 {
+		SetWorkers(4)
+	}
+	var a, c int64
+	for i := 0; i < b.N; i++ {
+		Do(func() { a++ }, func() { c++ })
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "launches/sec")
+}

@@ -1,0 +1,117 @@
+package traverse
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"sage/internal/compress"
+	"sage/internal/frontier"
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+	"sage/internal/psam"
+)
+
+// acceptEdge is a pure pseudo-random predicate over (source, target,
+// weight): the "random ops" of the cross-strategy equivalence test. Being
+// pure makes the edgeMap output a function of the frontier alone, so every
+// strategy must produce the same target set.
+func acceptEdge(s, d uint32, w int32) bool {
+	x := uint64(s)<<32 | uint64(d)
+	x ^= uint64(uint32(w)) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x&3 != 0
+}
+
+// randomFrontier returns a deterministic pseudo-random vertex subset with
+// inclusion probability p.
+func randomFrontier(n uint32, p float64, seed uint64) *frontier.VertexSubset {
+	r := rand.New(rand.NewPCG(seed, 0x5eed))
+	var ids []uint32
+	for v := uint32(0); v < n; v++ {
+		if r.Float64() < p {
+			ids = append(ids, v)
+		}
+	}
+	return frontier.FromSparse(n, ids)
+}
+
+// TestCrossStrategyEquivalence is the safety net for the inner-loop
+// rewrite: the same traversal (pure random ops over random R-MAT and
+// power-law inputs, weighted and unweighted, compressed and uncompressed)
+// must produce identical output frontiers under Chunked, Blocked, Sparse,
+// and forced-Dense execution.
+func TestCrossStrategyEquivalence(t *testing.T) {
+	rmat := gen.RMAT(10, 8, 3)
+	pl := gen.PowerLaw(1500, 6, 5)
+	wrmat := gen.AddUniformWeights(rmat, 9)
+	cases := []struct {
+		name string
+		g    graph.Adj
+	}{
+		{"rmat", rmat},
+		{"rmat-byte64", compress.Compress(rmat, 64)},
+		{"powerlaw", pl},
+		{"powerlaw-byte32", compress.Compress(pl, 32)},
+		{"wrmat", wrmat},
+		{"wrmat-byte64", compress.Compress(wrmat, 64)},
+	}
+	ops := Ops{
+		Update:       acceptEdge,
+		UpdateAtomic: acceptEdge,
+		Cond:         CondTrue,
+	}
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"chunked", Options{Strategy: Chunked, ForceSparse: true, Dedup: true}},
+		{"blocked", Options{Strategy: Blocked, ForceSparse: true, Dedup: true}},
+		{"sparse", Options{Strategy: Sparse, ForceSparse: true, Dedup: true}},
+		{"dense", Options{ForceDense: true}},
+	}
+	oldWorkers := parallel.Workers()
+	defer parallel.SetWorkers(oldWorkers)
+	for _, workers := range []int{1, 4} {
+		parallel.SetWorkers(workers)
+		for _, tc := range cases {
+			for trial := 0; trial < 3; trial++ {
+				name := fmt.Sprintf("p%d/%s/trial%d", workers, tc.name, trial)
+				vs := randomFrontier(tc.g.NumVertices(), 0.03*float64(trial+1), uint64(trial)*7+1)
+				env := psam.NewEnv(psam.AppDirect)
+				ref := runSorted(tc.g, env, vs, ops, variants[0].opt)
+				for _, v := range variants[1:] {
+					got := runSorted(tc.g, env, vs, ops, v.opt)
+					if !equalU32(ref, got) {
+						t.Fatalf("%s: %s disagrees with %s: %d vs %d targets",
+							name, v.name, variants[0].name, len(got), len(ref))
+					}
+				}
+			}
+		}
+	}
+}
+
+// runSorted executes one EdgeMap and returns the sorted output target set.
+func runSorted(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt Options) []uint32 {
+	out := EdgeMap(g, env, vs, ops, opt)
+	ids := append([]uint32(nil), out.Sparse()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,105 @@
+package traverse
+
+import (
+	"fmt"
+	"testing"
+
+	"sage/internal/compress"
+	"sage/internal/frontier"
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// benchOps are deliberately cheap pure ops so the measured cost is the
+// edge iteration itself, not the user function.
+var benchOps = Ops{
+	Update:       func(s, d uint32, _ int32) bool { return (s+d)&7 == 0 },
+	UpdateAtomic: func(s, d uint32, _ int32) bool { return (s+d)&7 == 0 },
+	Cond:         CondTrue,
+}
+
+// BenchmarkEdgeMapStrategies measures raw traversal throughput (edges/sec,
+// accounting disabled) of every strategy over CSR and byte-compressed
+// inputs, at one worker (the pure per-edge cost) and at four workers (the
+// scheduled cost; the container may expose a single CPU, in which case
+// the p4 numbers include oversubscription overhead). BENCH_hotpath.json
+// records the pre-refactor baseline.
+func BenchmarkEdgeMapStrategies(b *testing.B) {
+	defer parallel.SetWorkers(parallel.Workers())
+	csr := gen.RMAT(15, 16, 1)
+	cg := compress.Compress(csr, 64)
+	graphs := []struct {
+		name string
+		g    graph.Adj
+	}{
+		{"csr", csr},
+		{"byte64", cg},
+	}
+	variants := []struct {
+		name string
+		opt  Options
+	}{
+		{"chunked", Options{Strategy: Chunked, ForceSparse: true}},
+		{"blocked", Options{Strategy: Blocked, ForceSparse: true}},
+		{"sparse", Options{Strategy: Sparse, ForceSparse: true}},
+		{"dense", Options{ForceDense: true}},
+	}
+	for _, p := range []int{1, 4} {
+		for _, gr := range graphs {
+			n := gr.g.NumVertices()
+			ids := make([]uint32, 0, n/8)
+			for v := uint32(0); v < n; v += 8 {
+				ids = append(ids, v)
+			}
+			vs := frontier.FromSparse(n, ids)
+			var outDeg int64
+			for _, v := range ids {
+				outDeg += int64(gr.g.Degree(v))
+			}
+			for _, variant := range variants {
+				edges := outDeg
+				if variant.opt.ForceDense {
+					// The dense pull scans every vertex's full adjacency.
+					edges = int64(gr.g.NumEdges())
+				}
+				b.Run(fmt.Sprintf("p%d/%s/%s", p, gr.name, variant.name), func(b *testing.B) {
+					parallel.SetWorkers(p)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						EdgeMap(gr.g, nil, vs, benchOps, variant.opt)
+					}
+					b.ReportMetric(float64(edges)*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkEdgeMapBFS measures a full BFS (the paper's canonical
+// traversal workload) end to end, direction optimization enabled.
+func BenchmarkEdgeMapBFS(b *testing.B) {
+	defer parallel.SetWorkers(parallel.Workers())
+	csr := gen.RMAT(15, 16, 1)
+	cg := compress.Compress(csr, 64)
+	graphs := []struct {
+		name string
+		g    graph.Adj
+	}{
+		{"csr", csr},
+		{"byte64", cg},
+	}
+	for _, p := range []int{1, 4} {
+		for _, gr := range graphs {
+			b.Run(fmt.Sprintf("p%d/%s", p, gr.name), func(b *testing.B) {
+				parallel.SetWorkers(p)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bfsWith(gr.g, nil, 0, Options{Strategy: Chunked})
+				}
+				b.ReportMetric(float64(gr.g.NumEdges())*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+			})
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package sage_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sage"
+)
+
+// statKey is the golden subset of Stats that the hot-path refactor must
+// preserve exactly: the simulated PSAM cost and the four access-count
+// totals. (PeakDRAMWords is excluded: chunk-pool reuse makes the peak
+// depend on allocator state, not on the access pattern under test.)
+type statKey struct {
+	Cost, NVRAMReads, NVRAMWrites, DRAMReads, DRAMWrites int64
+}
+
+func keyOf(s sage.Stats) statKey {
+	return statKey{s.PSAMCost, s.NVRAMReads, s.NVRAMWrites, s.DRAMReads, s.DRAMWrites}
+}
+
+// goldenStats pins the simulated access counts of the four reference
+// workloads on a fixed seed graph (R-MAT logN=11, avgDeg=8, seed=7),
+// captured at one worker so randomized tie-breaking cannot perturb the
+// counts. Any change to these numbers is an accounting change and must be
+// deliberate (see the frontierDegree fix commit for the one audited
+// delta).
+var goldenStats = map[string]statKey{
+	"csr/chunked/bfs":             {14908, 9660, 0, 3303, 1945},
+	"csr/chunked/pagerankiter":    {27608, 12780, 0, 12780, 2048},
+	"csr/chunked/connectivity":    {49558, 25050, 0, 19816, 4692},
+	"csr/chunked/kcore":           {128478, 64239, 0, 60584, 3655},
+	"csr/blocked/bfs":             {14908, 9660, 0, 3303, 1945},
+	"csr/blocked/pagerankiter":    {27608, 12780, 0, 12780, 2048},
+	"csr/blocked/connectivity":    {49558, 25050, 0, 19816, 4692},
+	"csr/blocked/kcore":           {128478, 64239, 0, 60584, 3655},
+	"csr/sparse/bfs":              {14932, 9660, 0, 3303, 1969},
+	"csr/sparse/pagerankiter":     {27608, 12780, 0, 12780, 2048},
+	"csr/sparse/connectivity":     {49770, 25050, 0, 19816, 4904},
+	"csr/sparse/kcore":            {128478, 64239, 0, 60584, 3655},
+	"byte64/chunked/bfs":          {14722, 9474, 0, 3303, 1945},
+	"byte64/chunked/pagerankiter": {27608, 12780, 0, 12780, 2048},
+	"byte64/chunked/connectivity": {49359, 24851, 0, 19816, 4692},
+	"byte64/chunked/kcore":        {125774, 61535, 0, 60584, 3655},
+	"byte64/blocked/bfs":          {14722, 9474, 0, 3303, 1945},
+	"byte64/blocked/pagerankiter": {27608, 12780, 0, 12780, 2048},
+	"byte64/blocked/connectivity": {49359, 24851, 0, 19816, 4692},
+	"byte64/blocked/kcore":        {125774, 61535, 0, 60584, 3655},
+	"byte64/sparse/bfs":           {14746, 9474, 0, 3303, 1969},
+	"byte64/sparse/pagerankiter":  {27608, 12780, 0, 12780, 2048},
+	"byte64/sparse/connectivity":  {49571, 24851, 0, 19816, 4904},
+	"byte64/sparse/kcore":         {125774, 61535, 0, 60584, 3655},
+}
+
+// regressGraphs builds the fixed CSR and byte-compressed inputs.
+func regressGraphs() map[string]*sage.Graph {
+	g := sage.GenerateRMAT(11, 8, 7)
+	return map[string]*sage.Graph{
+		"csr":    g,
+		"byte64": g.Compress(64),
+	}
+}
+
+// TestPSAMStatsRegression runs BFS, PageRankIter, Connectivity, and KCore
+// under every traversal strategy and asserts the accumulated counters
+// match the goldens. Run with -run TestPSAMStatsRegression -v to print
+// actual values when re-goldening after a deliberate accounting change.
+func TestPSAMStatsRegression(t *testing.T) {
+	old := sage.Workers()
+	defer sage.SetWorkers(old)
+	sage.SetWorkers(1)
+	for gname, g := range regressGraphs() {
+		for _, strat := range []struct {
+			name string
+			s    sage.Strategy
+		}{{"chunked", sage.Chunked}, {"blocked", sage.Blocked}, {"sparse", sage.Sparse}} {
+			e := sage.NewEngine(sage.WithStrategy(strat.s), sage.WithSeed(7))
+			run := func(algo string, fn func()) {
+				e.ResetStats()
+				fn()
+				name := fmt.Sprintf("%s/%s/%s", gname, strat.name, algo)
+				got := keyOf(e.Stats())
+				want, ok := goldenStats[name]
+				if !ok {
+					t.Errorf("missing golden %q: {%d, %d, %d, %d, %d}",
+						name, got.Cost, got.NVRAMReads, got.NVRAMWrites, got.DRAMReads, got.DRAMWrites)
+					return
+				}
+				if got != want {
+					t.Errorf("%s: stats drifted:\n got  %+v\n want %+v", name, got, want)
+				}
+			}
+			run("bfs", func() { e.BFS(g, 0) })
+			run("pagerankiter", func() {
+				n := int(g.NumVertices())
+				prev := make([]float64, n)
+				next := make([]float64, n)
+				for i := range prev {
+					prev[i] = 1 / float64(n)
+				}
+				e.PageRankIter(g, prev, next)
+			})
+			run("connectivity", func() { e.Connectivity(g) })
+			run("kcore", func() { e.KCore(g) })
+		}
+	}
+}
