@@ -64,6 +64,10 @@ func main() {
 		opts = append(opts, sage.WithCache(g.SizeWords()/8))
 	}
 	e := sage.NewEngine(opts...)
+	if *src >= uint(g.NumVertices()) {
+		fmt.Fprintf(os.Stderr, "src %d out of range: graph has %d vertices\n", *src, g.NumVertices())
+		os.Exit(2)
+	}
 	s := uint32(*src)
 
 	start := time.Now()

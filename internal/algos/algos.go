@@ -24,6 +24,14 @@ import (
 // Infinity marks unreached vertices in distance/parent arrays.
 const Infinity = ^uint32(0)
 
+// algoScratch holds one decode buffer per worker for the closure-free
+// adjacency iteration (graph.Flat) used by the algorithm inner loops that
+// scan adjacency directly (PageRank, Connectivity's contraction, KCore's
+// peeling, the neighbor histogram). Same ownership discipline as the
+// traversal layer's scratch: indexed by the parallel worker id, never
+// shared across nesting levels.
+var algoScratch [parallel.MaxWorkers]graph.Scratch
+
 // Options configures an algorithm run.
 type Options struct {
 	// Env is the PSAM accounting environment (nil disables accounting).
@@ -122,12 +130,14 @@ func sumDegrees(g graph.Adj, ids []uint32) int64 {
 func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bool) []parallel.KeyCount {
 	n := int(g.NumVertices())
 	sumDeg := sumDegrees(g, s)
+	flat := graph.NewFlat(g)
 	if sumDeg+int64(len(s)) > int64(g.NumEdges())/20 {
 		// Dense variant.
 		inS := make([]bool, n)
 		parallel.For(len(s), 0, func(i int) { inS[s[i]] = true })
 		counts := make([]uint32, n)
 		parallel.ForBlocks(n, 64, func(w, lo, hi int) {
+			sc := &algoScratch[w]
 			var scanned int64
 			for i := lo; i < hi; i++ {
 				v := uint32(i)
@@ -136,12 +146,12 @@ func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bo
 				}
 				var c uint32
 				deg := g.Degree(v)
-				g.IterRange(v, 0, deg, func(_, ngh uint32, _ int32) bool {
+				nghs, _ := flat.Slice(v, 0, deg, sc)
+				for _, ngh := range nghs {
 					if inS[ngh] {
 						c++
 					}
-					return true
-				})
+				}
 				scanned += int64(deg)
 				counts[i] = c
 			}
@@ -167,15 +177,15 @@ func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bo
 		deg := g.Degree(v)
 		env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, deg))
 		wr := offs[i]
-		g.IterRange(v, 0, deg, func(_, ngh uint32, _ int32) bool {
+		nghs, _ := flat.Slice(v, 0, deg, &algoScratch[w])
+		for _, ngh := range nghs {
 			if keep(ngh) {
 				keys[wr] = ngh
 			} else {
 				keys[wr] = drop
 			}
 			wr++
-			return true
-		})
+		}
 		env.StateWrite(w, int64(deg))
 	})
 	kept := parallel.Filter(keys, func(k uint32) bool { return k != drop })

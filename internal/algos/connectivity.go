@@ -84,11 +84,14 @@ func contract(g graph.Adj, o *Options, cluster []uint32, inter int64, witness *p
 	set := parallel.NewHashSet64(int(inter) + 1)
 	o.Env.Alloc(2 * (inter + 1))
 	defer o.Env.Free(2 * (inter + 1))
+	flat := graph.NewFlat(g)
 	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
+		sc := &algoScratch[w]
 		for i := lo; i < hi; i++ {
 			v := uint32(i)
 			cv := cluster[v]
-			g.IterRange(v, 0, g.Degree(v), func(_, u uint32, _ int32) bool {
+			nghs, _ := flat.Slice(v, 0, g.Degree(v), sc)
+			for _, u := range nghs {
 				cu := cluster[u]
 				if cu != cv {
 					key := edgeKey(denseID[cu], denseID[cv])
@@ -97,8 +100,7 @@ func contract(g graph.Adj, o *Options, cluster []uint32, inter int64, witness *p
 					}
 					o.Env.StateWrite(w, 1)
 				}
-				return true
-			})
+			}
 		}
 	})
 	keys := set.Elements()

@@ -67,13 +67,15 @@ func KCore(g graph.Adj, o *Options) []uint32 {
 // degree changed are collected for a bulk bucket update.
 func kcoreFetchAdd(g graph.Adj, o *Options, b *bucket.Buckets, peeled []uint32, deg []uint32, k uint32) {
 	touched := make([][]uint32, parallel.Workers())
+	fa := graph.NewFlat(g)
 	parallel.ForWorker(len(peeled), 4, func(w, i int) {
 		v := peeled[i]
 		dv := g.Degree(v)
 		o.Env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, dv))
-		g.IterRange(v, 0, dv, func(_, u uint32, _ int32) bool {
+		nghs, _ := fa.Slice(v, 0, dv, &algoScratch[w])
+		for _, u := range nghs {
 			if b.Priority(u) == bucket.Null {
-				return true
+				continue
 			}
 			// Decrement with a floor of k.
 			for {
@@ -87,8 +89,7 @@ func kcoreFetchAdd(g graph.Adj, o *Options, b *bucket.Buckets, peeled []uint32, 
 				}
 			}
 			o.Env.StateWrite(w, 1)
-			return true
-		})
+		}
 	})
 	flat := parallel.FlattenUint32(touched)
 	// Deduplicate before the bulk bucket move (UpdateBatch requires

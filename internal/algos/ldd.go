@@ -122,17 +122,20 @@ func CountInterCluster(g graph.Adj, o *Options, cluster []uint32) int64 {
 		c int64
 		_ [56]byte
 	}
+	flat := graph.NewFlat(g)
 	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
+		sc := &algoScratch[w]
 		var c, scanned int64
 		for i := lo; i < hi; i++ {
 			v := uint32(i)
 			deg := g.Degree(v)
-			g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
-				if cluster[u] != cluster[v] {
+			cv := cluster[v]
+			nghs, _ := flat.Slice(v, 0, deg, sc)
+			for _, u := range nghs {
+				if cluster[u] != cv {
 					c++
 				}
-				return true
-			})
+			}
 			scanned += int64(deg)
 		}
 		o.Env.GraphRead(w, 0, scanned)

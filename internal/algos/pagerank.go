@@ -31,11 +31,13 @@ func PageRankIter(g graph.Adj, o *Options, prev, next []float64) float64 {
 		}
 	})
 	base := (1 - pagerankDamping) / float64(n)
+	flat := graph.NewFlat(g)
 	var diffs [parallel.MaxWorkers]struct {
 		d float64
 		_ [56]byte
 	}
 	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
+		sc := &algoScratch[w]
 		var scanned int64
 		var l1 float64
 		for i := lo; i < hi; i++ {
@@ -45,10 +47,10 @@ func PageRankIter(g graph.Adj, o *Options, prev, next []float64) float64 {
 			if deg > prParallelDegree {
 				acc = aggregateParallel(g, v, deg, contrib)
 			} else {
-				g.IterRange(v, 0, deg, func(_, u uint32, _ int32) bool {
+				nghs, _ := flat.Slice(v, 0, deg, sc)
+				for _, u := range nghs {
 					acc += contrib[u]
-					return true
-				})
+				}
 			}
 			scanned += int64(deg)
 			nv := base + pagerankDamping*acc
@@ -68,18 +70,23 @@ func PageRankIter(g graph.Adj, o *Options, prev, next []float64) float64 {
 }
 
 // aggregateParallel reduces a high-degree vertex's neighbor contributions
-// with a parallel block reduction.
+// with a parallel block reduction. It runs nested inside a worker's loop
+// body, so it cannot use the per-worker scratch; each inner block decodes
+// into its own local buffer (free for zero-copy CSR, one allocation per
+// prParallelDegree edges otherwise).
 func aggregateParallel(g graph.Adj, v, deg uint32, contrib []float64) float64 {
+	flat := graph.NewFlat(g)
 	nBlocks := (int(deg) + prParallelDegree - 1) / prParallelDegree
 	partial := make([]float64, nBlocks)
 	parallel.For(nBlocks, 1, func(b int) {
 		lo := uint32(b * prParallelDegree)
 		hi := min(lo+prParallelDegree, deg)
+		var sc graph.Scratch
+		nghs, _ := flat.Slice(v, lo, hi, &sc)
 		var acc float64
-		g.IterRange(v, lo, hi, func(_, u uint32, _ int32) bool {
+		for _, u := range nghs {
 			acc += contrib[u]
-			return true
-		})
+		}
 		partial[b] = acc
 	})
 	var acc float64

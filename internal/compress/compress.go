@@ -255,15 +255,11 @@ func (c *CGraph) decodeBlock(v, b uint32, region []byte, fn func(i, ngh uint32, 
 // the edges behind a filter block (§4.2.3: "we immediately decompress the
 // entire block and store it locally").
 func (c *CGraph) DecodeBlockInto(v, b uint32, buf []uint32) []uint32 {
-	buf = buf[:0]
 	if b >= c.numBlocks(v) {
-		return buf
+		return buf[:0]
 	}
-	c.decodeBlock(v, b, c.region(v), func(_, ngh uint32, _ int32) bool {
-		buf = append(buf, ngh)
-		return true
-	})
-	return buf
+	lo := b * c.blockSize
+	return c.DecodeRange(v, lo, lo+c.blockSize, buf)
 }
 
 // SizeWords reports the simulated NVRAM footprint in words.

@@ -1,0 +1,133 @@
+package compress
+
+// Closure-free block decoding (the graph.FlatAdj implementation). The
+// hot traversal loops hand DecodeRange a per-worker scratch buffer and
+// get back a flat neighbor slice: varint decode cost is paid once per
+// compression block entered, and the per-edge cost downstream is a plain
+// slice iteration instead of an interface-dispatched callback.
+
+// FlatRange implements graph.FlatAdj: byte-compressed adjacency is never
+// flat, so callers must decode.
+func (c *CGraph) FlatRange(_, _, _ uint32) ([]uint32, []int32, bool) {
+	return nil, nil, false
+}
+
+// DecodeRange implements graph.FlatAdj: it block-decodes the neighbors at
+// positions [lo, hi) of v into buf (contents overwritten, capacity grown
+// as needed) and returns the filled slice. Positions before lo inside the
+// first block are decoded and skipped, the same cost behaviour as
+// IterRange (Appendix D.1).
+func (c *CGraph) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
+	buf = buf[:0]
+	if hi > c.degrees[v] {
+		hi = c.degrees[v]
+	}
+	if hi <= lo {
+		return buf
+	}
+	region := c.region(v)
+	nb := c.numBlocks(v)
+	for b := lo / c.blockSize; b <= (hi-1)/c.blockSize && b < nb; b++ {
+		blo := b * c.blockSize
+		bhi := min(blo+c.blockSize, c.degrees[v])
+		pos := int(getU32(region[4*b:]))
+		first, k := getVarint(region[pos:])
+		pos += k
+		ngh := uint32(int64(v) + unzigzag(first))
+		if c.weighted {
+			_, k := getVarint(region[pos:])
+			pos += k
+		}
+		if blo >= lo {
+			buf = append(buf, ngh)
+		}
+		if blo >= lo && bhi <= hi {
+			// Interior block: no per-edge bounds checks needed.
+			if c.weighted {
+				for i := blo + 1; i < bhi; i++ {
+					gap, k := getVarint(region[pos:])
+					pos += k
+					ngh += uint32(gap)
+					_, k = getVarint(region[pos:])
+					pos += k
+					buf = append(buf, ngh)
+				}
+			} else {
+				for i := blo + 1; i < bhi; i++ {
+					gap, k := getVarint(region[pos:])
+					pos += k
+					ngh += uint32(gap)
+					buf = append(buf, ngh)
+				}
+			}
+			continue
+		}
+		// Boundary block: decode until hi, keep the positions >= lo.
+		for i := blo + 1; i < bhi; i++ {
+			if i >= hi {
+				break
+			}
+			gap, k := getVarint(region[pos:])
+			pos += k
+			ngh += uint32(gap)
+			if c.weighted {
+				_, k := getVarint(region[pos:])
+				pos += k
+			}
+			if i >= lo {
+				buf = append(buf, ngh)
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeRangeW implements graph.FlatAdj: like DecodeRange but also
+// decoding the interleaved zigzag-varint weights into wbuf. For
+// unweighted graphs the returned weight slice is nil (weights all 1).
+func (c *CGraph) DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32) {
+	if !c.weighted {
+		return c.DecodeRange(v, lo, hi, buf), nil
+	}
+	buf = buf[:0]
+	wbuf = wbuf[:0]
+	if hi > c.degrees[v] {
+		hi = c.degrees[v]
+	}
+	if hi <= lo {
+		return buf, wbuf
+	}
+	region := c.region(v)
+	nb := c.numBlocks(v)
+	for b := lo / c.blockSize; b <= (hi-1)/c.blockSize && b < nb; b++ {
+		blo := b * c.blockSize
+		bhi := min(blo+c.blockSize, c.degrees[v])
+		pos := int(getU32(region[4*b:]))
+		first, k := getVarint(region[pos:])
+		pos += k
+		ngh := uint32(int64(v) + unzigzag(first))
+		enc, k := getVarint(region[pos:])
+		pos += k
+		w := int32(unzigzag(enc))
+		if blo >= lo {
+			buf = append(buf, ngh)
+			wbuf = append(wbuf, w)
+		}
+		for i := blo + 1; i < bhi; i++ {
+			if i >= hi {
+				break
+			}
+			gap, k := getVarint(region[pos:])
+			pos += k
+			ngh += uint32(gap)
+			enc, k := getVarint(region[pos:])
+			pos += k
+			w = int32(unzigzag(enc))
+			if i >= lo {
+				buf = append(buf, ngh)
+				wbuf = append(wbuf, w)
+			}
+		}
+	}
+	return buf, wbuf
+}

@@ -1,0 +1,68 @@
+package compress
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sage/internal/gen"
+	"sage/internal/graph"
+)
+
+// TestDecodeRangeMatchesIterRange checks the closure-free decode path
+// against the callback path over random ranges, weighted and unweighted,
+// across block sizes (including ranges straddling block boundaries).
+func TestDecodeRangeMatchesIterRange(t *testing.T) {
+	base := gen.RMAT(9, 12, 5)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"unweighted", base},
+		{"weighted", gen.AddUniformWeights(base, 3)},
+	} {
+		for _, bs := range []int{16, 64, 256} {
+			c := Compress(tc.g, bs)
+			r := rand.New(rand.NewPCG(uint64(bs), 99))
+			var buf []uint32
+			var wbuf []int32
+			for trial := 0; trial < 2000; trial++ {
+				v := uint32(r.IntN(int(c.NumVertices())))
+				d := c.Degree(v)
+				lo := uint32(r.IntN(int(d) + 1))
+				hi := lo + uint32(r.IntN(int(d-lo)+2)) // may exceed deg: must clamp
+				var wantN []uint32
+				var wantW []int32
+				c.IterRange(v, lo, hi, func(_, ngh uint32, w int32) bool {
+					wantN = append(wantN, ngh)
+					wantW = append(wantW, w)
+					return true
+				})
+				buf = c.DecodeRange(v, lo, hi, buf)
+				if len(buf) != len(wantN) {
+					t.Fatalf("%s/bs%d v=%d [%d,%d): DecodeRange len %d, want %d",
+						tc.name, bs, v, lo, hi, len(buf), len(wantN))
+				}
+				for i := range buf {
+					if buf[i] != wantN[i] {
+						t.Fatalf("%s/bs%d v=%d [%d,%d): neighbor %d = %d, want %d",
+							tc.name, bs, v, lo, hi, i, buf[i], wantN[i])
+					}
+				}
+				buf, wbuf = c.DecodeRangeW(v, lo, hi, buf, wbuf)
+				if len(buf) != len(wantN) {
+					t.Fatalf("%s/bs%d DecodeRangeW len %d, want %d", tc.name, bs, len(buf), len(wantN))
+				}
+				if tc.g.Weighted() {
+					for i := range wbuf {
+						if wbuf[i] != wantW[i] {
+							t.Fatalf("%s/bs%d v=%d [%d,%d): weight %d = %d, want %d",
+								tc.name, bs, v, lo, hi, i, wbuf[i], wantW[i])
+						}
+					}
+				} else if wbuf != nil {
+					t.Fatalf("unweighted DecodeRangeW returned non-nil weights")
+				}
+			}
+		}
+	}
+}

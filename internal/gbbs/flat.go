@@ -1,0 +1,33 @@
+package gbbs
+
+// graph.FlatAdj implementation: the mutable image stores each vertex's
+// live edges packed flat at the front of its CSR segment, so the hot
+// traversal loops can iterate it without per-edge callbacks.
+
+// FlatRange implements graph.FlatAdj, aliasing the packed live prefix.
+// (The v >= n guard keeps graph.NewFlat's empty probe safe on empty
+// graphs; flatness is a property of the representation, so ok is true.)
+func (f *MutFilter) FlatRange(v, lo, hi uint32) ([]uint32, []int32, bool) {
+	if v >= f.n {
+		return nil, nil, true
+	}
+	if hi > f.degs[v] {
+		hi = f.degs[v]
+	}
+	if hi < lo {
+		hi = lo
+	}
+	base := f.offsets[v]
+	return f.edges[base+uint64(lo) : base+uint64(hi)], nil, true
+}
+
+// DecodeRange implements graph.FlatAdj (copying form).
+func (f *MutFilter) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
+	nghs, _, _ := f.FlatRange(v, lo, hi)
+	return append(buf[:0], nghs...)
+}
+
+// DecodeRangeW implements graph.FlatAdj; the baselines are unweighted.
+func (f *MutFilter) DecodeRangeW(v, lo, hi uint32, buf []uint32, _ []int32) ([]uint32, []int32) {
+	return f.DecodeRange(v, lo, hi, buf), nil
+}

@@ -127,18 +127,26 @@ func (f *Filter) IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w int
 
 // decodeBlockLocal decodes original block b of v into stack (or spill)
 // storage without touching the per-worker scratch, so it is safe from any
-// goroutine.
+// goroutine. Flat base graphs alias their storage (no copy at all);
+// compressed ones block-decode without per-edge callbacks.
 func (f *Filter) decodeBlockLocal(v, b, deg0 uint32, stack []uint32, spill *[]uint32) []uint32 {
 	lo := b * f.fb
 	hi := min(lo+f.fb, deg0)
+	if f.fzero {
+		nghs, _, _ := f.fad.FlatRange(v, lo, hi)
+		return nghs
+	}
 	var out []uint32
 	if int(f.fb) <= cap(stack) {
-		out = stack
+		out = stack[:0]
 	} else {
 		if cap(*spill) < int(f.fb) {
 			*spill = make([]uint32, 0, f.fb)
 		}
 		out = (*spill)[:0]
+	}
+	if f.fad != nil {
+		return f.fad.DecodeRange(v, lo, hi, out)
 	}
 	f.g.IterRange(v, lo, hi, func(_, ngh uint32, _ int32) bool {
 		out = append(out, ngh)

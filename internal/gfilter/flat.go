@@ -1,0 +1,62 @@
+package gfilter
+
+import "math/bits"
+
+// graph.FlatAdj implementation over the filter's active edges: active
+// positions [lo, hi) are materialized into the caller's buffer one filter
+// block at a time, so the traversal layer's inner loops run over a flat
+// slice. Decode cost matches IterRange exactly (whole underlying blocks,
+// §4.2.3); only the per-edge callback is gone.
+
+// FlatRange implements graph.FlatAdj: filtered adjacency is never flat.
+func (f *Filter) FlatRange(_, _, _ uint32) ([]uint32, []int32, bool) {
+	return nil, nil, false
+}
+
+// DecodeRange implements graph.FlatAdj, materializing the active
+// neighbors at active positions [lo, hi) of v into buf.
+func (f *Filter) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
+	buf = buf[:0]
+	vm := &f.vtx[v]
+	if hi > vm.deg {
+		hi = vm.deg
+	}
+	if hi <= lo || vm.numBlocks == 0 {
+		return buf
+	}
+	deg0 := f.g.Degree(v)
+	var stack [512]uint32
+	var spill []uint32
+	for b := f.findBlock(vm, lo); b < vm.numBlocks; b++ {
+		s := vm.start + uint64(b)
+		idx := f.meta[s].offset
+		if idx >= hi {
+			return buf
+		}
+		words := f.blockWords(s)
+		nghs := f.decodeBlockLocal(v, f.meta[s].orig, deg0, stack[:0], &spill)
+		for k, w := range words {
+			for w != 0 {
+				t := bits.TrailingZeros64(w)
+				w &= w - 1
+				pos := k*64 + t
+				if pos >= len(nghs) {
+					continue
+				}
+				if idx >= lo {
+					if idx >= hi {
+						return buf
+					}
+					buf = append(buf, nghs[pos])
+				}
+				idx++
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeRangeW implements graph.FlatAdj; filters are unweighted.
+func (f *Filter) DecodeRangeW(v, lo, hi uint32, buf []uint32, _ []int32) ([]uint32, []int32) {
+	return f.DecodeRange(v, lo, hi, buf), nil
+}

@@ -41,6 +41,8 @@ type vtxMeta struct {
 // Filter is a mutable edge-subset view of an immutable graph.
 type Filter struct {
 	g     graph.Adj
+	fad   graph.FlatAdj // non-nil: closure-free decode of the base graph
+	fzero bool          // FlatRange aliases the base graph's storage
 	env   *psam.Env
 	fb    uint32 // filter block size in edges (multiple of 64)
 	wpb   uint32 // words per block = fb/64
@@ -79,6 +81,10 @@ func New(g graph.Adj, fb int, env *psam.Env) *Filter {
 	fb = (fb + 63) / 64 * 64
 	n := g.NumVertices()
 	f := &Filter{g: g, env: env, fb: uint32(fb), wpb: uint32(fb / 64)}
+	if fad, ok := g.(graph.FlatAdj); ok {
+		f.fad = fad
+		_, _, f.fzero = fad.FlatRange(0, 0, 0)
+	}
 
 	nb := make([]uint64, n+1)
 	parallel.For(int(n), 0, func(i int) {
@@ -156,10 +162,26 @@ func (f *Filter) decodeSlot(worker int, v uint32, s uint64, deg0 uint32) []uint3
 		sc.nghs = make([]uint32, 0, f.fb)
 	}
 	if f.g.BlockSize() == 0 {
-		// CSR fast path: fetch only the active positions.
-		sc.nghs = sc.nghs[:hi-lo]
+		// CSR fast path: only the active positions are fetched (and
+		// charged); with a flat base graph the block is an alias of the
+		// edge array, so the fetch loop reduces to counting the bits.
 		words := f.blockWords(s)
 		var fetched int64
+		if f.fzero {
+			for k, w := range words {
+				for w != 0 {
+					idx := bits.TrailingZeros64(w)
+					w &= w - 1
+					if lo+uint32(k*64+idx) < hi {
+						fetched++
+					}
+				}
+			}
+			f.env.GraphRead(worker, f.g.EdgeAddr(v)+int64(lo), fetched)
+			nghs, _, _ := f.fad.FlatRange(v, lo, hi)
+			return nghs
+		}
+		sc.nghs = sc.nghs[:hi-lo]
 		for k, w := range words {
 			for w != 0 {
 				idx := bits.TrailingZeros64(w)
@@ -178,8 +200,12 @@ func (f *Filter) decodeSlot(worker int, v uint32, s uint64, deg0 uint32) []uint3
 		f.env.GraphRead(worker, f.g.EdgeAddr(v)+int64(lo), fetched)
 		return sc.nghs
 	}
-	sc.nghs = sc.nghs[:0]
 	f.env.GraphRead(worker, f.g.EdgeAddr(v)+int64(lo), f.g.ScanCost(v, lo, hi))
+	if f.fad != nil {
+		sc.nghs = f.fad.DecodeRange(v, lo, hi, sc.nghs)
+		return sc.nghs
+	}
+	sc.nghs = sc.nghs[:0]
 	f.g.IterRange(v, lo, hi, func(_, ngh uint32, _ int32) bool {
 		sc.nghs = append(sc.nghs, ngh)
 		return true

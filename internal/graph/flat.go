@@ -1,0 +1,173 @@
+package graph
+
+// This file is the closure-free access path to adjacency data. The
+// generic Adj.IterRange costs an interface dispatch plus a non-inlinable
+// closure call per edge; at memory-bandwidth traversal rates (the Sage
+// design point, §4.1) that overhead dominates the loop body. FlatAdj lets
+// a representation hand the traversal layer flat slices instead — either
+// aliases of its own storage (CSR) or ranges block-decoded into a
+// caller-owned scratch buffer (byte-compressed formats), so the per-edge
+// cost is a plain slice iteration and decode cost is amortized per block.
+
+// FlatAdj is the optional closure-free access path implemented by
+// adjacency representations that can expose position ranges as flat
+// slices. All in-repo representations implement it; the traversal layer
+// falls back to IterRange for foreign Adj implementations.
+type FlatAdj interface {
+	// FlatRange returns slices aliasing the representation's own flat
+	// storage for positions [lo, hi) of v, with ws nil for unweighted
+	// graphs, and ok=false if the representation is not flat (compressed
+	// or filtered) and the caller must use DecodeRange instead. Returned
+	// slices are read-only.
+	FlatRange(v, lo, hi uint32) (nghs []uint32, ws []int32, ok bool)
+	// DecodeRange decodes the neighbors at positions [lo, hi) of v into
+	// buf (reusing its capacity; contents are overwritten) and returns
+	// the filled slice. hi is clamped to deg(v).
+	DecodeRange(v, lo, hi uint32, buf []uint32) []uint32
+	// DecodeRangeW additionally decodes the aligned weights into wbuf.
+	// The returned ws is nil when the graph is unweighted (weights all 1).
+	DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32)
+}
+
+// Scratch is a per-worker decode buffer for the flat access path. Workers
+// own one Scratch each (indexed by the worker id the parallel package
+// exposes) so decoding never allocates in steady state. The padding keeps
+// neighboring workers' slice headers off one cache line.
+type Scratch struct {
+	Nghs []uint32
+	Ws   []int32
+	_    [16]byte
+}
+
+// Flat resolves an Adj's fastest access path once, outside the hot loop.
+// The zero value is not meaningful; use NewFlat.
+type Flat struct {
+	csr      *Graph  // non-nil: zero-copy slice access
+	fa       FlatAdj // non-nil: flat or decode access
+	g        Adj
+	weighted bool
+	zero     bool // FlatRange aliases storage (no decode work)
+}
+
+// NewFlat inspects g's concrete type and returns its flat access path.
+func NewFlat(g Adj) Flat {
+	f := Flat{g: g, weighted: g.Weighted()}
+	if csr, ok := g.(*Graph); ok {
+		f.csr = csr
+		f.zero = true
+		return f
+	}
+	if fa, ok := g.(FlatAdj); ok {
+		f.fa = fa
+		// Whether FlatRange aliases is a constant of the representation,
+		// so an empty probe determines it.
+		_, _, f.zero = fa.FlatRange(0, 0, 0)
+	}
+	return f
+}
+
+// ZeroCopy reports whether Slice aliases graph storage (no decode work,
+// Scratch untouched).
+func (f *Flat) ZeroCopy() bool { return f.zero }
+
+// Slice returns the neighbors (and weights; nil means all 1) at positions
+// [lo, hi) of v as flat slices, decoding into s if the representation is
+// not already flat. It is meant for scans without early exit; early-
+// exiting scans over non-zero-copy representations are better served by
+// IterRange, which stops decoding at the exit point.
+func (f *Flat) Slice(v, lo, hi uint32, s *Scratch) ([]uint32, []int32) {
+	if f.csr != nil {
+		base := f.csr.offsets[v]
+		nghs := f.csr.edges[base+uint64(lo) : base+uint64(hi)]
+		if f.csr.weights == nil {
+			return nghs, nil
+		}
+		return nghs, f.csr.weights[base+uint64(lo) : base+uint64(hi)]
+	}
+	if f.fa != nil {
+		if nghs, ws, ok := f.fa.FlatRange(v, lo, hi); ok {
+			return nghs, ws
+		}
+		if f.weighted {
+			s.Nghs, s.Ws = f.fa.DecodeRangeW(v, lo, hi, s.Nghs, s.Ws)
+			return s.Nghs, s.Ws
+		}
+		s.Nghs = f.fa.DecodeRange(v, lo, hi, s.Nghs)
+		return s.Nghs, nil
+	}
+	return f.iterInto(v, lo, hi, s)
+}
+
+// Full returns v's complete adjacency as flat slices. For CSR it is a
+// pure slice expression — no interface dispatch, not even for the degree
+// — making it the cheapest per-vertex entry into the hot loops.
+func (f *Flat) Full(v uint32, s *Scratch) ([]uint32, []int32) {
+	if f.csr != nil {
+		lo, hi := f.csr.offsets[v], f.csr.offsets[v+1]
+		nghs := f.csr.edges[lo:hi]
+		if f.csr.weights == nil {
+			return nghs, nil
+		}
+		return nghs, f.csr.weights[lo:hi]
+	}
+	return f.Slice(v, 0, f.g.Degree(v), s)
+}
+
+// iterInto materializes [lo, hi) through the generic IterRange fallback.
+func (f *Flat) iterInto(v, lo, hi uint32, s *Scratch) ([]uint32, []int32) {
+	s.Nghs = s.Nghs[:0]
+	if f.weighted {
+		s.Ws = s.Ws[:0]
+		f.g.IterRange(v, lo, hi, func(_, u uint32, w int32) bool {
+			s.Nghs = append(s.Nghs, u)
+			s.Ws = append(s.Ws, w)
+			return true
+		})
+		return s.Nghs, s.Ws
+	}
+	f.g.IterRange(v, lo, hi, func(_, u uint32, _ int32) bool {
+		s.Nghs = append(s.Nghs, u)
+		return true
+	})
+	return s.Nghs, nil
+}
+
+// FlatRange implements FlatAdj for the CSR representation: both arrays
+// are already flat, so the slices alias the graph.
+func (g *Graph) FlatRange(v, lo, hi uint32) ([]uint32, []int32, bool) {
+	base := g.offsets[v]
+	nghs := g.edges[base+uint64(lo) : base+uint64(hi)]
+	if g.weights == nil {
+		return nghs, nil, true
+	}
+	return nghs, g.weights[base+uint64(lo) : base+uint64(hi)], true
+}
+
+// DecodeRange implements FlatAdj (copying form; FlatRange is the fast
+// path and callers prefer it).
+func (g *Graph) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
+	if d := g.Degree(v); hi > d {
+		hi = d
+	}
+	if hi <= lo {
+		return buf[:0]
+	}
+	base := g.offsets[v]
+	return append(buf[:0], g.edges[base+uint64(lo):base+uint64(hi)]...)
+}
+
+// DecodeRangeW implements FlatAdj.
+func (g *Graph) DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32) {
+	if d := g.Degree(v); hi > d {
+		hi = d
+	}
+	if hi <= lo {
+		return buf[:0], nil
+	}
+	base := g.offsets[v]
+	buf = append(buf[:0], g.edges[base+uint64(lo):base+uint64(hi)]...)
+	if g.weights == nil {
+		return buf, nil
+	}
+	return buf, append(wbuf[:0], g.weights[base+uint64(lo):base+uint64(hi)]...)
+}

@@ -35,6 +35,7 @@ func edgeMapBlocked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 		return frontier.Empty(n)
 	}
 	counts := make([]int, nBlocks)
+	flat := graph.NewFlat(g)
 	parallel.ForWorker(nBlocks, 1, func(w, b int) {
 		lo := int64(b) * blockedBlockSize
 		hi := min(lo+blockedBlockSize, outDeg)
@@ -47,13 +48,22 @@ func edgeMapBlocked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 			vLo := uint32(e - offs[vi])
 			vHi := uint32(min(offs[vi+1], hi) - offs[vi])
 			env.GraphRead(w, g.EdgeAddr(u)+int64(vLo), g.ScanCost(u, vLo, vHi))
-			g.IterRange(u, vLo, vHi, func(_, d uint32, wt int32) bool {
-				if ops.Cond(d) && ops.UpdateAtomic(u, d, wt) {
-					out[wr] = d
-					wr++
+			nghs, ws := flat.Slice(u, vLo, vHi, &flatScratch[w])
+			if ws == nil {
+				for _, d := range nghs {
+					if ops.Cond(d) && ops.UpdateAtomic(u, d, 1) {
+						out[wr] = d
+						wr++
+					}
 				}
-				return true
-			})
+			} else {
+				for j, d := range nghs {
+					if ops.Cond(d) && ops.UpdateAtomic(u, d, ws[j]) {
+						out[wr] = d
+						wr++
+					}
+				}
+			}
 			scanned += int64(vHi - vLo)
 			e = offs[vi] + int64(vHi)
 			if e >= offs[vi+1] {

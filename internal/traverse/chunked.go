@@ -116,7 +116,11 @@ func EdgeMapChunked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 
 	// Process groups (lines 20–23): each group is sequential; chunks are
 	// fetched from the per-worker pool and stored in the group's vector.
+	// Blocks align with the graph's decode granularity, so each Slice call
+	// below decodes exactly one compression block into the worker scratch
+	// (or aliases the CSR edge array with no copy at all).
 	groupChunks := make([][][]uint32, numGroups)
+	flat := graph.NewFlat(g)
 	parallel.ForWorker(numGroups, 1, func(w, gi int) {
 		var vec [][]uint32
 		var cur []uint32
@@ -134,12 +138,20 @@ func EdgeMapChunked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 			lo := blockLo[b]
 			hi := lo + uint32(bDeg)
 			env.GraphRead(w, g.EdgeAddr(u)+int64(lo), g.ScanCost(u, lo, hi))
-			g.IterRange(u, lo, hi, func(_, d uint32, wt int32) bool {
-				if ops.Cond(d) && ops.UpdateAtomic(u, d, wt) {
-					cur = append(cur, d)
+			nghs, ws := flat.Slice(u, lo, hi, &flatScratch[w])
+			if ws == nil {
+				for _, d := range nghs {
+					if ops.Cond(d) && ops.UpdateAtomic(u, d, 1) {
+						cur = append(cur, d)
+					}
 				}
-				return true
-			})
+			} else {
+				for j, d := range nghs {
+					if ops.Cond(d) && ops.UpdateAtomic(u, d, ws[j]) {
+						cur = append(cur, d)
+					}
+				}
+			}
 			scanned += int64(bDeg)
 		}
 		if cur != nil {

@@ -1,0 +1,14 @@
+package traverse
+
+import (
+	"sage/internal/graph"
+	"sage/internal/parallel"
+)
+
+// flatScratch holds one decode buffer per worker for the closure-free
+// edge iteration (graph.Flat). Buffers grow to the largest range decoded
+// and are reused across every edgeMap call, so steady-state traversal
+// does not allocate for decoding. Worker indices come from the parallel
+// package's [0, Workers()) contract; like the chunk pool, the scratch
+// assumes top-level traversals do not run concurrently with each other.
+var flatScratch [parallel.MaxWorkers]graph.Scratch

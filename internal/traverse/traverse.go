@@ -8,6 +8,15 @@
 // its temporary allocations to the small-memory space tracker, so the
 // Table 5 memory comparison and the Figure 1/7 cost comparisons come
 // directly out of the same code paths that compute results.
+//
+// The inner loops are closure-free: each traversal resolves the graph's
+// flat access path once (graph.Flat) and iterates plain neighbor slices —
+// aliases of the CSR arrays for uncompressed graphs, or block decodes
+// into per-worker scratch buffers for compressed ones, amortizing decode
+// cost per block instead of per edge. The PSAM accounting is identical to
+// the callback path; only the per-edge dispatch is gone. Small per-round
+// loops launch on the parallel package's persistent worker pool, so a
+// frontier algorithm's thousands of rounds do not spawn goroutines.
 package traverse
 
 import (
@@ -130,7 +139,12 @@ func frontierDegree(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset) int64
 
 // edgeMapDense is the pull-based traversal: every vertex satisfying Cond
 // scans its in-edges (equal to out-edges on symmetric graphs) for frontier
-// members, stopping as soon as Cond(d) turns false.
+// members, stopping as soon as Cond(d) turns false. Zero-copy
+// representations (CSR, the GBBS mutable image) scan flat aliased slices
+// with no per-edge callback; compressed and filtered representations keep
+// the callback decode, because the dense scan's early exit typically
+// fires within a few edges and decoding a whole block to scan two of its
+// entries costs more than the dispatch it saves.
 func edgeMapDense(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt Options) *frontier.VertexSubset {
 	n := g.NumVertices()
 	from := vs.Dense()
@@ -139,19 +153,27 @@ func edgeMapDense(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops
 		out = make([]bool, n)
 		env.Alloc(int64(n+7) / 8)
 	}
+	flat := graph.NewFlat(g)
 	var outCounts [parallel.MaxWorkers]struct {
 		c int64
 		_ [56]byte
 	}
+	zeroCopy := flat.ZeroCopy()
 	parallel.ForBlocks(int(n), 256, func(w, lo, hi int) {
+		sc := &flatScratch[w]
 		var scanned, produced int64
 		for i := lo; i < hi; i++ {
 			d := uint32(i)
 			if !ops.Cond(d) {
 				continue
 			}
-			deg := g.Degree(d)
-			g.IterRange(d, 0, deg, func(j, s uint32, wt int32) bool {
+			if zeroCopy {
+				nghs, ws := flat.Full(d, sc)
+				n, _ := densePiece(ops, from, out, d, nghs, ws, &produced)
+				scanned += n
+				continue
+			}
+			g.IterRange(d, 0, g.Degree(d), func(_, s uint32, wt int32) bool {
 				scanned++
 				if from[s] && ops.Update(s, d, wt) {
 					if out != nil && !out[d] {
@@ -177,6 +199,42 @@ func edgeMapDense(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops
 	return frontier.FromDense(n, out, int(total))
 }
 
+// densePiece runs the pull scan over one flat piece of d's in-edges,
+// returning the number of positions scanned and whether the scan stopped
+// early. Cond(d) is a function of d's state, which only Update(·, d)
+// mutates, and one worker owns d for the whole scan — so the early-exit
+// check is needed only after an Update invocation, not on every edge; the
+// stop position (and hence the charged scan count) is identical to the
+// per-edge check.
+func densePiece(ops Ops, from, out []bool, d uint32, nghs []uint32, ws []int32, produced *int64) (int64, bool) {
+	if ws == nil {
+		for j, s := range nghs {
+			if from[s] {
+				if ops.Update(s, d, 1) && out != nil && !out[d] {
+					out[d] = true
+					*produced++
+				}
+				if !ops.Cond(d) {
+					return int64(j) + 1, true
+				}
+			}
+		}
+	} else {
+		for j, s := range nghs {
+			if from[s] {
+				if ops.Update(s, d, ws[j]) && out != nil && !out[d] {
+					out[d] = true
+					*produced++
+				}
+				if !ops.Cond(d) {
+					return int64(j) + 1, true
+				}
+			}
+		}
+	}
+	return int64(len(nghs)), false
+}
+
 // edgeMapSparse is Ligra's push traversal: it allocates an output array
 // proportional to the frontier's out-degree, writes winners (or a
 // sentinel), and filters. Its O(Σ deg) allocation is the PSAM violation
@@ -191,21 +249,30 @@ func edgeMapSparse(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Op
 	out := make([]uint32, outDeg)
 	env.Alloc(outDeg + int64(len(sp)))
 	defer env.Free(outDeg + int64(len(sp)))
+	flat := graph.NewFlat(g)
 	parallel.ForWorker(len(sp), 16, func(w, i int) {
 		u := sp[i]
 		deg := g.Degree(u)
 		base := offs[i]
 		env.GraphRead(w, g.EdgeAddr(u), g.ScanCost(u, 0, deg))
-		var produced int64
-		g.IterRange(u, 0, deg, func(j, d uint32, wt int32) bool {
-			if ops.Cond(d) && ops.UpdateAtomic(u, d, wt) {
-				out[base+int64(j)] = d
-				produced++
-			} else {
-				out[base+int64(j)] = sentinel
+		nghs, ws := flat.Slice(u, 0, deg, &flatScratch[w])
+		if ws == nil {
+			for j, d := range nghs {
+				if ops.Cond(d) && ops.UpdateAtomic(u, d, 1) {
+					out[base+int64(j)] = d
+				} else {
+					out[base+int64(j)] = sentinel
+				}
 			}
-			return true
-		})
+		} else {
+			for j, d := range nghs {
+				if ops.Cond(d) && ops.UpdateAtomic(u, d, ws[j]) {
+					out[base+int64(j)] = d
+				} else {
+					out[base+int64(j)] = sentinel
+				}
+			}
+		}
 		env.StateRead(w, int64(deg))
 		env.StateWrite(w, int64(deg)) // sentinel or winner written per edge
 	})
