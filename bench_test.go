@@ -83,9 +83,9 @@ func BenchmarkFig6(b *testing.B) {
 	g := sage.GenerateRMAT(benchScale, 16, 1)
 	for _, workers := range []int{1, sage.Workers()} {
 		for name, run := range map[string]func(e *sage.Engine){
-			"BFS":          func(e *sage.Engine) { e.BFS(g, 0) },
-			"Connectivity": func(e *sage.Engine) { e.Connectivity(g) },
-			"KCore":        func(e *sage.Engine) { e.KCore(g) },
+			"BFS":          func(e *sage.Engine) { e.MustBFS(g, 0) },
+			"Connectivity": func(e *sage.Engine) { e.MustConnectivity(g) },
+			"KCore":        func(e *sage.Engine) { e.MustKCore(g) },
 		} {
 			b.Run(benchName(name, workers), func(b *testing.B) {
 				old := sage.Workers()
@@ -216,7 +216,7 @@ func BenchmarkTable4BlockSize(b *testing.B) {
 			var total int64
 			for i := 0; i < b.N; i++ {
 				e := sage.NewEngine(sage.WithMode(sage.AppDirect), sage.WithFilterBlockSize(bs))
-				res := e.TriangleCount(cg)
+				res := e.MustTriangleCount(cg)
 				total = res.TotalWork
 			}
 			b.ReportMetric(float64(total), "decode-work")
@@ -300,7 +300,7 @@ func BenchmarkTraversalStrategies(b *testing.B) {
 			e := sage.NewEngine(sage.WithMode(sage.AppDirect), sage.WithStrategy(s))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				e.BFS(g, 0)
+				e.MustBFS(g, 0)
 			}
 		})
 	}
@@ -313,13 +313,13 @@ func BenchmarkWidestPathVariants(b *testing.B) {
 	b.Run("BellmanFordStyle", func(b *testing.B) {
 		e := sage.NewEngine()
 		for i := 0; i < b.N; i++ {
-			e.WidestPath(g, 0)
+			e.MustWidestPath(g, 0)
 		}
 	})
 	b.Run("Bucketed", func(b *testing.B) {
 		e := sage.NewEngine()
 		for i := 0; i < b.N; i++ {
-			e.WidestPathBucketed(g, 0)
+			e.MustWidestPathBucketed(g, 0)
 		}
 	})
 }

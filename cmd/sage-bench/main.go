@@ -1,14 +1,13 @@
 // Command sage-bench regenerates the paper's tables and figures over the
-// synthetic workloads.
+// synthetic workloads. The graph problems inside every experiment come
+// from the same algorithm registry that backs sage-run and the public
+// sage.Algorithms API (see internal/harness.Problems).
 //
 // Usage:
 //
 //	sage-bench -exp fig1 -scale 16
 //	sage-bench -exp all  -scale 14
-//
-// Experiments: fig1, fig2, fig6, fig7, table1, table2, table3, table4,
-// table5, sec52, all. Scale is log2 of the vertex count of the main
-// R-MAT workload.
+//	sage-bench -list
 package main
 
 import (
@@ -19,32 +18,57 @@ import (
 	"sage/internal/harness"
 )
 
+// experiments is the ordered experiment table.
+var experiments = []struct {
+	ID  string
+	Doc string
+	Run func(scale int) []*harness.Report
+}{
+	{"fig1", "NVRAM systems on a larger-than-DRAM graph", one(harness.RunFig1)},
+	{"fig2", "graph corpus density envelope", func(int) []*harness.Report { return []*harness.Report{harness.RunFig2()} }},
+	{"fig6", "self-relative speedup sweep", one(harness.RunFig6)},
+	{"fig7", "DRAM vs NVRAM configurations in-memory", one(harness.RunFig7)},
+	{"table1", "PSAM cost vs write asymmetry omega", one(harness.RunTable1)},
+	{"table2", "graph inputs", one(harness.RunTable2)},
+	{"table3", "Sage vs semi-external streaming", one(harness.RunTable3)},
+	{"table4", "triangle counting vs filter block size", one(harness.RunTable4)},
+	{"table5", "traversal strategy memory usage", one(harness.RunTable5)},
+	{"sec52", "NUMA layout micro-benchmark", one(harness.RunSec52)},
+	{"appD1", "triangle counting vs vertex ordering", one(harness.RunAppD1)},
+	{"all", "every experiment", harness.RunAll},
+}
+
+// one adapts a single-report runner.
+func one(f func(int) *harness.Report) func(int) []*harness.Report {
+	return func(scale int) []*harness.Report { return []*harness.Report{f(scale)} }
+}
+
+func listExperiments(w *os.File) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range experiments {
+		fmt.Fprintf(w, "  %-8s %s\n", e.ID, e.Doc)
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1|fig2|fig6|fig7|table1|table2|table3|table4|table5|sec52|all)")
+	exp := flag.String("exp", "all", "experiment id (see -list)")
 	scale := flag.Int("scale", 16, "log2 vertices of the R-MAT workload")
+	list := flag.Bool("list", false, "list the experiments and exit")
 	flag.Parse()
 
-	runners := map[string]func() []*harness.Report{
-		"fig1":   func() []*harness.Report { return []*harness.Report{harness.RunFig1(*scale)} },
-		"fig2":   func() []*harness.Report { return []*harness.Report{harness.RunFig2()} },
-		"fig6":   func() []*harness.Report { return []*harness.Report{harness.RunFig6(*scale)} },
-		"fig7":   func() []*harness.Report { return []*harness.Report{harness.RunFig7(*scale)} },
-		"table1": func() []*harness.Report { return []*harness.Report{harness.RunTable1(*scale)} },
-		"table2": func() []*harness.Report { return []*harness.Report{harness.RunTable2(*scale)} },
-		"table3": func() []*harness.Report { return []*harness.Report{harness.RunTable3(*scale)} },
-		"table4": func() []*harness.Report { return []*harness.Report{harness.RunTable4(*scale)} },
-		"table5": func() []*harness.Report { return []*harness.Report{harness.RunTable5(*scale)} },
-		"sec52":  func() []*harness.Report { return []*harness.Report{harness.RunSec52(*scale)} },
-		"appD1":  func() []*harness.Report { return []*harness.Report{harness.RunAppD1(*scale)} },
-		"all":    func() []*harness.Report { return harness.RunAll(*scale) },
+	if *list {
+		listExperiments(os.Stdout)
+		return
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+	for _, e := range experiments {
+		if e.ID == *exp {
+			for _, rep := range e.Run(*scale) {
+				fmt.Println(rep.String())
+			}
+			return
+		}
 	}
-	for _, rep := range run() {
-		fmt.Println(rep.String())
-	}
+	fmt.Fprintf(os.Stderr, "unknown experiment %q\n\n", *exp)
+	listExperiments(os.Stderr)
+	os.Exit(2)
 }

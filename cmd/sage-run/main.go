@@ -1,32 +1,75 @@
 // Command sage-run executes one Sage algorithm on a stored graph under a
 // chosen memory configuration and reports the result summary, wall-clock
-// time, and simulated PSAM statistics.
+// time, and the run's simulated PSAM statistics.
+//
+// The algorithm surface comes entirely from the engine's registry
+// (sage.Algorithms): -list enumerates it, -algo selects from it, and an
+// interrupt (Ctrl-C) cancels the run mid-algorithm through the engine's
+// context support.
 //
 // Usage:
 //
+//	sage-run -list
 //	sage-run -graph web.sg -algo bfs -src 0
 //	sage-run -graph web.sg -algo kcore -mode memorymode
-//	sage-run -graph social.sg -algo wbfs -src 3 -mode appdirect
+//	sage-run -graph social.sg -algo pagerank -maxiters 50
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"sage"
 )
 
+// listAlgorithms prints the registry as an aligned table.
+func listAlgorithms(w *os.File) {
+	fmt.Fprintln(w, "registered algorithms:")
+	for _, a := range sage.Algorithms() {
+		params := ""
+		for _, p := range a.Params {
+			params += fmt.Sprintf(" -%s=%v", p.Name, p.Default)
+		}
+		tag := ""
+		if a.Weighted {
+			tag = " [weighted]"
+		}
+		if a.SetCover {
+			tag = " [bipartite; requires -numsets]"
+		}
+		fmt.Fprintf(w, "  %-14s %s%s\n", a.Name, a.Doc, tag)
+		if params != "" {
+			fmt.Fprintf(w, "  %-14s   params:%s\n", "", params)
+		}
+	}
+}
+
 func main() {
 	path := flag.String("graph", "", "binary graph path (from sage-gen)")
-	algo := flag.String("algo", "bfs", "bfs|wbfs|bellmanford|widest|bc|spanner|ldd|cc|forest|biconn|mis|matching|coloring|kcore|densest|tc|pagerank|ppr|kclique|ktruss|localcluster")
-	src := flag.Uint("src", 0, "source vertex for rooted algorithms")
+	algo := flag.String("algo", "bfs", "algorithm name from the registry (see -list)")
+	list := flag.Bool("list", false, "list the algorithm registry and exit")
 	modeName := flag.String("mode", "appdirect", "dram|appdirect|memorymode|nvramall")
 	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse")
 	compressBS := flag.Int("compress", 0, "compress the graph with this block size (0 = uncompressed)")
+
+	src := flag.Uint("src", 0, "source vertex for rooted algorithms")
+	k := flag.Int("k", 0, "k parameter (spanner stretch, clique size; 0 = algorithm default)")
+	eps := flag.Float64("eps", 0, "convergence / approximation parameter (0 = algorithm default)")
+	maxIters := flag.Int("maxiters", 0, "iteration cap (0 = algorithm default)")
+	beta := flag.Float64("beta", 0, "LDD decomposition parameter (0 = default 0.2)")
+	damping := flag.Float64("damping", 0, "PageRank damping factor (0 = default 0.85)")
+	numSets := flag.Uint("numsets", 0, "set count for the bipartite set-cover instance")
+	maxSize := flag.Int("maxsize", 0, "local-cluster sweep-cut size cap (0 = unbounded)")
 	flag.Parse()
 
+	if *list {
+		listAlgorithms(os.Stdout)
+		return
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "missing -graph")
 		flag.Usage()
@@ -59,139 +102,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	known := false
+	for _, name := range sage.AlgorithmNames() {
+		if name == *algo {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n\n", *algo)
+		listAlgorithms(os.Stderr)
+		os.Exit(2)
+	}
+
+	// Validate before the lossy uint32 conversions below: an oversized
+	// -src must exit 2, not wrap around and run from the wrong vertex.
+	if *src >= uint(g.NumVertices()) {
+		fmt.Fprintf(os.Stderr, "src %d out of range: graph has %d vertices\n", *src, g.NumVertices())
+		os.Exit(2)
+	}
+	if *numSets > uint(g.NumVertices()) {
+		fmt.Fprintf(os.Stderr, "numsets %d out of range: graph has %d vertices\n", *numSets, g.NumVertices())
+		os.Exit(2)
+	}
+
 	opts := []sage.Option{sage.WithMode(mode), sage.WithStrategy(strategy)}
 	if mode == sage.MemoryMode {
 		opts = append(opts, sage.WithCache(g.SizeWords()/8))
 	}
 	e := sage.NewEngine(opts...)
-	if *src >= uint(g.NumVertices()) {
-		fmt.Fprintf(os.Stderr, "src %d out of range: graph has %d vertices\n", *src, g.NumVertices())
-		os.Exit(2)
-	}
-	s := uint32(*src)
 
+	// Ctrl-C cancels the run at the next frontier/iteration boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	args := sage.AlgoArgs{
+		Src: uint32(*src), K: *k, Eps: *eps, MaxIters: *maxIters,
+		Beta: *beta, Damping: *damping, NumSets: uint32(*numSets), MaxSize: *maxSize,
+	}
 	start := time.Now()
-	var summary string
-	switch *algo {
-	case "bfs":
-		parents := e.BFS(g, s)
-		reached := 0
-		for _, p := range parents {
-			if p != ^uint32(0) {
-				reached++
-			}
+	res, err := e.RunAlgorithm(ctx, *algo, g, args)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		if ctx.Err() != nil {
+			os.Exit(130) // interrupted
 		}
-		summary = fmt.Sprintf("reached %d of %d vertices", reached, g.NumVertices())
-	case "wbfs":
-		dist := e.WBFS(g, s)
-		summary = fmt.Sprintf("computed %d distances", len(dist))
-	case "bellmanford":
-		dist := e.BellmanFord(g, s)
-		summary = fmt.Sprintf("computed %d distances", len(dist))
-	case "widest":
-		w := e.WidestPath(g, s)
-		summary = fmt.Sprintf("computed %d widths", len(w))
-	case "bc":
-		deps := e.Betweenness(g, s)
-		var maxDep float64
-		for _, d := range deps {
-			if d > maxDep {
-				maxDep = d
-			}
-		}
-		summary = fmt.Sprintf("max dependency %.2f", maxDep)
-	case "spanner":
-		edges := e.Spanner(g, 0)
-		summary = fmt.Sprintf("spanner with %d edges (n=%d)", len(edges), g.NumVertices())
-	case "ldd":
-		res := e.LDD(g, 0.2)
-		summary = fmt.Sprintf("decomposed in %d rounds", res.Rounds)
-	case "cc":
-		labels := e.Connectivity(g)
-		distinct := map[uint32]bool{}
-		for _, l := range labels {
-			distinct[l] = true
-		}
-		summary = fmt.Sprintf("%d connected components", len(distinct))
-	case "forest":
-		f := e.SpanningForest(g)
-		summary = fmt.Sprintf("spanning forest with %d edges", len(f))
-	case "biconn":
-		res := e.Biconnectivity(g)
-		distinct := map[uint32]bool{}
-		for v, l := range res.Label {
-			if res.Parent[v] != uint32(v) && res.Parent[v] != ^uint32(0) {
-				distinct[l] = true
-			}
-		}
-		summary = fmt.Sprintf("%d biconnected components (tree-edge labels)", len(distinct))
-	case "mis":
-		in := e.MIS(g)
-		count := 0
-		for _, b := range in {
-			if b {
-				count++
-			}
-		}
-		summary = fmt.Sprintf("independent set of size %d", count)
-	case "matching":
-		m := e.MaximalMatching(g)
-		summary = fmt.Sprintf("matching of size %d", len(m))
-	case "coloring":
-		colors := e.Coloring(g)
-		maxC := uint32(0)
-		for _, c := range colors {
-			if c > maxC {
-				maxC = c
-			}
-		}
-		summary = fmt.Sprintf("used %d colors", maxC+1)
-	case "kcore":
-		core := e.KCore(g)
-		maxK := uint32(0)
-		for _, k := range core {
-			if k > maxK {
-				maxK = k
-			}
-		}
-		summary = fmt.Sprintf("max coreness %d", maxK)
-	case "densest":
-		res := e.ApproxDensestSubgraph(g)
-		summary = fmt.Sprintf("density %.3f in %d rounds", res.Density, res.Rounds)
-	case "tc":
-		res := e.TriangleCount(g)
-		summary = fmt.Sprintf("%d triangles (intersection work %d, total work %d)",
-			res.Count, res.IntersectionWork, res.TotalWork)
-	case "pagerank":
-		_, iters := e.PageRank(g, 1e-6, 100)
-		summary = fmt.Sprintf("converged in %d iterations", iters)
-	case "ppr":
-		_, iters := e.PersonalizedPageRank(g, s, 0.85, 1e-9, 100)
-		summary = fmt.Sprintf("personalized PageRank converged in %d iterations", iters)
-	case "kclique":
-		c := e.KCliqueCount(g, 4)
-		summary = fmt.Sprintf("%d 4-cliques", c)
-	case "ktruss":
-		res := e.KTruss(g)
-		maxT := uint32(0)
-		for _, tr := range res.Trussness {
-			if tr > maxT {
-				maxT = tr
-			}
-		}
-		summary = fmt.Sprintf("max trussness %d over %d edges", maxT, len(res.Trussness))
-	case "localcluster":
-		res := e.LocalCluster(g, s, 0.85, 0)
-		summary = fmt.Sprintf("cluster of %d vertices at conductance %.3f",
-			len(res.Members), res.Conductance)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
-	elapsed := time.Since(start)
 
 	fmt.Printf("%s on n=%d m=%d [%s, %s]\n", *algo, g.NumVertices(), g.NumEdges(), *modeName, *strategyName)
-	fmt.Println(" ", summary)
+	fmt.Println(" ", res.Summary)
 	fmt.Println("  time:", elapsed.Round(time.Microsecond))
-	fmt.Println("  stats:", e.Stats())
+	fmt.Println("  run stats:", res.Stats)
 }

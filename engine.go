@@ -1,31 +1,69 @@
 package sage
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"sage/internal/algos"
 	"sage/internal/psam"
+	"sage/internal/traverse"
 )
 
-// Engine runs the Sage algorithms under a chosen memory configuration,
-// accumulating PSAM access counts and small-memory peaks across calls.
-// Engines are cheap; use one per configuration under comparison.
+// Engine is an immutable, goroutine-safe algorithm configuration: the
+// memory mode, cost model, traversal strategy, and seed policy fixed at
+// construction. Every algorithm call executes as its own Run — a session
+// owning private PSAM counters, a private Memory-Mode cache, and private
+// decode scratch — whose totals are merged atomically into the engine's
+// aggregate on completion. Concurrent calls on one Engine are therefore
+// correct by construction: they share only the immutable configuration
+// and the atomic aggregate.
+//
+// Two call styles are exposed for every algorithm:
+//
+//	parents, err := e.BFS(ctx, g, 0)   // context-aware; err is ctx.Err() on cancellation
+//	parents := e.MustBFS(g, 0)         // thin convenience wrapper, background context
+//
+// and a Run can be held explicitly when the per-call statistics matter:
+//
+//	run := e.NewRun()
+//	parents, err := run.BFS(ctx, g, 0)
+//	fmt.Println(run.Stats())           // this call's counters alone
 type Engine struct {
-	opts *algos.Options
+	cfg config
+	agg psam.AtomicCounts
+	// pools recycles traversal scratch (*traverse.Pools) across
+	// engine-level calls, so a loop of e.BFS/e.MustBFS keeps its warmed
+	// decode buffers and chunk free lists instead of allocating a fresh
+	// set per call. Scratch carries no cross-run state once a run's
+	// counters are merged, so recycling is safe; explicitly held Runs
+	// keep their pools for their lifetime.
+	pools sync.Pool
 }
 
-// Option configures an Engine.
-type Option func(*Engine)
+// config is the frozen engine configuration.
+type config struct {
+	mode       Mode
+	psamCfg    psam.Config
+	strategy   Strategy
+	seed       uint64
+	fb         int
+	eps        float64
+	cacheWords int64
+}
+
+// Option configures an Engine at construction.
+type Option func(*config)
 
 // WithMode selects the memory configuration (default AppDirect).
 func WithMode(m Mode) Option {
-	return func(e *Engine) { e.opts.Env.Mode = m }
+	return func(c *config) { c.mode = m }
 }
 
 // WithStrategy selects the sparse traversal implementation (default
 // Chunked — the Sage design; Blocked reproduces the GBBS baseline).
 func WithStrategy(s Strategy) Option {
-	return func(e *Engine) { e.opts.Traverse.Strategy = s }
+	return func(c *config) { c.strategy = s }
 }
 
 // WithCostModel overrides the simulated NVRAM read cost and write
@@ -33,49 +71,77 @@ func WithStrategy(s Strategy) Option {
 // NVRAMRead·ω = 12 DRAM accesses; pass (3, 4) to charge the raw Optane
 // device ratios instead for sensitivity studies.
 func WithCostModel(nvramRead, omega int64) Option {
-	return func(e *Engine) {
-		e.opts.Env.Cfg.NVRAMRead = nvramRead
-		e.opts.Env.Cfg.Omega = omega
+	return func(c *config) {
+		c.psamCfg.NVRAMRead = nvramRead
+		c.psamCfg.Omega = omega
 	}
 }
 
-// WithCache attaches a Memory-Mode cache of the given capacity in
-// simulated words (required for MemoryMode).
+// WithCache sets the Memory-Mode cache capacity in simulated words. Each
+// Run gets its own cache of this capacity. The capacity is resolved after
+// all options apply, so WithCache composes with WithMode in any order;
+// MemoryMode without WithCache gets a default 1<<22-word cache.
 func WithCache(words int64) Option {
-	return func(e *Engine) { e.opts.Env.WithCache(words) }
+	return func(c *config) { c.cacheWords = words }
 }
 
 // WithSeed sets the seed for the randomized algorithms (default 1).
 func WithSeed(seed uint64) Option {
-	return func(e *Engine) { e.opts.Seed = seed }
+	return func(c *config) { c.seed = seed }
 }
 
 // WithFilterBlockSize sets the graph filter block size FB (default 64;
 // must equal the compression block size on compressed inputs, §4.2.1).
 func WithFilterBlockSize(fb int) Option {
-	return func(e *Engine) { e.opts.FB = fb }
+	return func(c *config) { c.fb = fb }
 }
 
 // WithEps sets the approximation parameter for set cover and densest
 // subgraph (default 0.05).
 func WithEps(eps float64) Option {
-	return func(e *Engine) { e.opts.Eps = eps }
+	return func(c *config) { c.eps = eps }
 }
 
-// NewEngine returns an engine in AppDirect mode with Sage defaults.
+// NewEngine returns an engine in AppDirect mode with Sage defaults. The
+// configuration is frozen here: Options mutate only the construction-time
+// config, never a live engine.
 func NewEngine(options ...Option) *Engine {
-	e := &Engine{opts: algos.Defaults().WithEnv(psam.NewEnv(psam.AppDirect))}
+	c := config{
+		mode:     AppDirect,
+		psamCfg:  psam.DefaultConfig(),
+		strategy: Chunked,
+		seed:     1,
+		fb:       64,
+		eps:      0.05,
+	}
 	for _, o := range options {
-		o(e)
+		o(&c)
 	}
-	if e.opts.Env.Mode == psam.MemoryMode && e.opts.Env.Cache == nil {
-		e.opts.Env.WithCache(1 << 22) // a default cache; override per run
+	// Resolve the cache only after every option has applied, so
+	// WithMode/WithCache order cannot change the outcome.
+	if c.mode == MemoryMode && c.cacheWords == 0 {
+		c.cacheWords = 1 << 22 // a default cache; override with WithCache
 	}
-	return e
+	return &Engine{cfg: c}
 }
 
-// Stats is a snapshot of the engine's accumulated simulated-memory
-// behaviour.
+// Mode reports the engine's memory configuration.
+func (e *Engine) Mode() Mode { return e.cfg.mode }
+
+// Strategy reports the engine's sparse traversal strategy.
+func (e *Engine) Strategy() Strategy { return e.cfg.strategy }
+
+// CacheWords reports the per-run Memory-Mode cache capacity (0 outside
+// MemoryMode).
+func (e *Engine) CacheWords() int64 {
+	if e.cfg.mode != MemoryMode {
+		return 0
+	}
+	return e.cfg.cacheWords
+}
+
+// Stats is a snapshot of simulated-memory behaviour: for an Engine, the
+// aggregate over all completed runs; for a Run, that run alone.
 type Stats struct {
 	// PSAMCost is the simulated cost under the engine's cost model (§3.1).
 	PSAMCost int64
@@ -85,7 +151,9 @@ type Stats struct {
 	DRAMReads, DRAMWrites int64
 	// CacheHits / CacheMisses are Memory-Mode block statistics.
 	CacheHits, CacheMisses int64
-	// PeakDRAMWords is the peak tracked small-memory residency.
+	// PeakDRAMWords is the peak tracked small-memory residency. Engine
+	// aggregates take the maximum over runs (concurrent runs each track
+	// their own residency); all other fields accumulate by addition.
 	PeakDRAMWords int64
 }
 
@@ -95,154 +163,636 @@ func (s Stats) String() string {
 		s.PSAMCost, s.NVRAMReads, s.NVRAMWrites, s.DRAMReads, s.DRAMWrites, s.PeakDRAMWords)
 }
 
-// Stats returns the accumulated counters.
-func (e *Engine) Stats() Stats {
-	t := e.opts.Env.Totals()
+// RunStats is the PSAM accounting of a single Run.
+type RunStats Stats
+
+// String formats the run stats compactly.
+func (s RunStats) String() string { return Stats(s).String() }
+
+// statsOf renders counters and a peak under cfg.
+func statsOf(t psam.Counts, peak int64, cfg psam.Config) Stats {
 	return Stats{
-		PSAMCost:      t.Cost(e.opts.Env.Cfg),
+		PSAMCost:      t.Cost(cfg),
 		NVRAMReads:    t.NVRAMReads,
 		NVRAMWrites:   t.NVRAMWrites,
 		DRAMReads:     t.DRAMReads,
 		DRAMWrites:    t.DRAMWrites,
 		CacheHits:     t.CacheHits,
 		CacheMisses:   t.CacheMisses,
-		PeakDRAMWords: e.opts.Env.Space.Peak(),
+		PeakDRAMWords: peak,
 	}
 }
 
-// ResetStats zeroes the counters (and Memory-Mode cache).
-func (e *Engine) ResetStats() { e.opts.Env.Reset() }
+// Stats returns the counters aggregated over all completed runs (counter
+// fields sum; PeakDRAMWords is the maximum over runs). It may be called
+// concurrently with runs; in-flight runs contribute when they complete.
+func (e *Engine) Stats() Stats {
+	return statsOf(e.agg.Totals(), e.agg.Peak(), e.cfg.psamCfg)
+}
 
-// Options exposes the underlying algorithm options (for the experiment
-// harness; applications should not need it).
-func (e *Engine) Options() *algos.Options { return e.opts }
+// ResetStats zeroes the aggregate counters. Runs in flight merge their
+// totals when they complete, after the reset.
+func (e *Engine) ResetStats() { e.agg.Reset() }
+
+// Run is one algorithm session: it owns a private PSAM environment
+// (counters, space tracker, Memory-Mode cache) and private traversal
+// scratch, and merges its totals into the engine aggregate after each
+// call. A Run is NOT goroutine-safe — issue concurrent calls through the
+// Engine (one Run per call) or create one Run per goroutine. A Run may be
+// reused for several sequential calls; Stats then reports the running
+// total of the session.
+type Run struct {
+	e       *Engine
+	opts    *algos.Options
+	flushed psam.Counts
+}
+
+// NewRun opens a session with fresh counters and scratch.
+func (e *Engine) NewRun() *Run {
+	env := psam.NewEnv(e.cfg.mode)
+	env.Cfg = e.cfg.psamCfg
+	if e.cfg.mode == MemoryMode {
+		env.WithCache(e.cfg.cacheWords)
+	}
+	o := algos.Defaults()
+	o.Env = env
+	o.Seed = e.cfg.seed
+	o.FB = e.cfg.fb
+	o.Eps = e.cfg.eps
+	o.Traverse.Strategy = e.cfg.strategy
+	if p, ok := e.pools.Get().(*traverse.Pools); ok {
+		o.Traverse.Pools = p
+	} else {
+		o.Traverse.Pools = traverse.NewPools()
+	}
+	return &Run{e: e, opts: o}
+}
+
+// recycle returns a completed run's traversal scratch to the engine for
+// reuse. Only engine-level wrappers call it, after the run's last use.
+func (e *Engine) recycle(r *Run) {
+	p := r.opts.Traverse.Pools
+	r.opts.Traverse.Pools = nil
+	if p != nil {
+		e.pools.Put(p)
+	}
+}
+
+// Stats returns this run's counters (all calls issued through the Run so
+// far, including a cancelled one's partial work).
+func (r *Run) Stats() RunStats {
+	env := r.opts.Env
+	return RunStats(statsOf(env.Totals(), env.Space.Peak(), env.Cfg))
+}
+
+// Options exposes the run's underlying algorithm options (for the
+// experiment harness; applications should not need it).
+func (r *Run) Options() *algos.Options { return r.opts }
+
+// begin binds the call's context to the run environment.
+func (r *Run) begin(ctx context.Context) *algos.Options {
+	r.opts.Env.Ctx = ctx
+	return r.opts
+}
+
+// finish unbinds the context and merges the counters accumulated since
+// the previous flush into the engine aggregate. It runs on every call
+// completion, including cancelled ones, so partial work is accounted.
+func (r *Run) finish() {
+	r.opts.Env.Ctx = nil
+	t := r.opts.Env.Totals()
+	f := r.flushed
+	r.e.agg.Merge(psam.Counts{
+		DRAMReads:   t.DRAMReads - f.DRAMReads,
+		DRAMWrites:  t.DRAMWrites - f.DRAMWrites,
+		NVRAMReads:  t.NVRAMReads - f.NVRAMReads,
+		NVRAMWrites: t.NVRAMWrites - f.NVRAMWrites,
+		CacheHits:   t.CacheHits - f.CacheHits,
+		CacheMisses: t.CacheMisses - f.CacheMisses,
+	})
+	r.flushed = t
+	r.e.agg.MergePeak(r.opts.Env.Space.Peak())
+}
+
+// capture executes one algorithm call on r, converting the cancellation
+// unwind back into the context's error.
+func capture[T any](r *Run, ctx context.Context, f func(*algos.Options) T) (res T, err error) {
+	o := r.begin(ctx)
+	defer r.finish()
+	defer func() {
+		if p := recover(); p != nil {
+			c, ok := p.(psam.Cancellation)
+			if !ok {
+				panic(p)
+			}
+			var zero T
+			res, err = zero, c.Err
+		}
+	}()
+	res = f(o)
+	return res, nil
+}
+
+// must panics on an unexpected error from a background-context call (the
+// convenience wrappers; a background context cannot be cancelled, so this
+// never fires in practice).
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("sage: unexpected error from background-context run: %v", err))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Algorithm surface. Each algorithm appears three times: the
+// context-aware Run method (the primitive — per-run stats via
+// Run.Stats), the context-aware Engine method (one fresh Run per call),
+// and the Must wrapper (background context, no error).
+// ---------------------------------------------------------------------
 
 // BFS returns a BFS parent array from src (Figure 4; Theorem 4.2).
-func (e *Engine) BFS(g *Graph, src uint32) []uint32 {
-	return algos.BFS(g.adj, e.opts, src)
+func (r *Run) BFS(ctx context.Context, g *Graph, src uint32) ([]uint32, error) {
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.BFS(g.adj, o, src) })
+}
+
+// BFS returns a BFS parent array from src (Figure 4; Theorem 4.2).
+func (e *Engine) BFS(ctx context.Context, g *Graph, src uint32) ([]uint32, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.BFS(ctx, g, src)
+}
+
+// MustBFS is BFS with a background context.
+func (e *Engine) MustBFS(g *Graph, src uint32) []uint32 {
+	v, err := e.BFS(context.Background(), g, src)
+	must(err)
+	return v
 }
 
 // WBFS returns integral-weight shortest-path distances from src via
 // bucketing (Julienne-style wBFS).
-func (e *Engine) WBFS(g *Graph, src uint32) []uint32 {
-	return algos.WBFS(g.adj, e.opts, src)
+func (r *Run) WBFS(ctx context.Context, g *Graph, src uint32) ([]uint32, error) {
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.WBFS(g.adj, o, src) })
+}
+
+// WBFS returns integral-weight shortest-path distances from src.
+func (e *Engine) WBFS(ctx context.Context, g *Graph, src uint32) ([]uint32, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.WBFS(ctx, g, src)
+}
+
+// MustWBFS is WBFS with a background context.
+func (e *Engine) MustWBFS(g *Graph, src uint32) []uint32 {
+	v, err := e.WBFS(context.Background(), g, src)
+	must(err)
+	return v
 }
 
 // BellmanFord returns general-weight shortest-path distances from src.
-func (e *Engine) BellmanFord(g *Graph, src uint32) []int64 {
-	return algos.BellmanFord(g.adj, e.opts, src)
+func (r *Run) BellmanFord(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
+	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.BellmanFord(g.adj, o, src) })
+}
+
+// BellmanFord returns general-weight shortest-path distances from src.
+func (e *Engine) BellmanFord(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.BellmanFord(ctx, g, src)
+}
+
+// MustBellmanFord is BellmanFord with a background context.
+func (e *Engine) MustBellmanFord(g *Graph, src uint32) []int64 {
+	v, err := e.BellmanFord(context.Background(), g, src)
+	must(err)
+	return v
 }
 
 // WidestPath returns single-source widest-path widths from src.
-func (e *Engine) WidestPath(g *Graph, src uint32) []int64 {
-	return algos.WidestPath(g.adj, e.opts, src)
+func (r *Run) WidestPath(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
+	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.WidestPath(g.adj, o, src) })
+}
+
+// WidestPath returns single-source widest-path widths from src.
+func (e *Engine) WidestPath(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.WidestPath(ctx, g, src)
+}
+
+// MustWidestPath is WidestPath with a background context.
+func (e *Engine) MustWidestPath(g *Graph, src uint32) []int64 {
+	v, err := e.WidestPath(context.Background(), g, src)
+	must(err)
+	return v
 }
 
 // WidestPathBucketed is the bucketing-based widest-path variant.
-func (e *Engine) WidestPathBucketed(g *Graph, src uint32) []int64 {
-	return algos.WidestPathBucketed(g.adj, e.opts, src)
+func (r *Run) WidestPathBucketed(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
+	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.WidestPathBucketed(g.adj, o, src) })
+}
+
+// WidestPathBucketed is the bucketing-based widest-path variant.
+func (e *Engine) WidestPathBucketed(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.WidestPathBucketed(ctx, g, src)
+}
+
+// MustWidestPathBucketed is WidestPathBucketed with a background context.
+func (e *Engine) MustWidestPathBucketed(g *Graph, src uint32) []int64 {
+	v, err := e.WidestPathBucketed(context.Background(), g, src)
+	must(err)
+	return v
 }
 
 // Betweenness returns single-source betweenness dependencies from src.
-func (e *Engine) Betweenness(g *Graph, src uint32) []float64 {
-	return algos.Betweenness(g.adj, e.opts, src)
+func (r *Run) Betweenness(ctx context.Context, g *Graph, src uint32) ([]float64, error) {
+	return capture(r, ctx, func(o *algos.Options) []float64 { return algos.Betweenness(g.adj, o, src) })
+}
+
+// Betweenness returns single-source betweenness dependencies from src.
+func (e *Engine) Betweenness(ctx context.Context, g *Graph, src uint32) ([]float64, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.Betweenness(ctx, g, src)
+}
+
+// MustBetweenness is Betweenness with a background context.
+func (e *Engine) MustBetweenness(g *Graph, src uint32) []float64 {
+	v, err := e.Betweenness(context.Background(), g, src)
+	must(err)
+	return v
 }
 
 // Spanner returns the edges of an O(k)-spanner (k=0 selects ⌈log₂ n⌉).
-func (e *Engine) Spanner(g *Graph, k int) []Edge {
-	return algos.Spanner(g.adj, e.opts, k)
+func (r *Run) Spanner(ctx context.Context, g *Graph, k int) ([]Edge, error) {
+	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.Spanner(g.adj, o, k) })
+}
+
+// Spanner returns the edges of an O(k)-spanner (k=0 selects ⌈log₂ n⌉).
+func (e *Engine) Spanner(ctx context.Context, g *Graph, k int) ([]Edge, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.Spanner(ctx, g, k)
+}
+
+// MustSpanner is Spanner with a background context.
+func (e *Engine) MustSpanner(g *Graph, k int) []Edge {
+	v, err := e.Spanner(context.Background(), g, k)
+	must(err)
+	return v
 }
 
 // LDD returns a low-diameter decomposition with parameter beta.
-func (e *Engine) LDD(g *Graph, beta float64) *algos.LDDResult {
-	return algos.LDD(g.adj, e.opts, beta, e.opts.Seed)
+func (r *Run) LDD(ctx context.Context, g *Graph, beta float64) (*algos.LDDResult, error) {
+	return capture(r, ctx, func(o *algos.Options) *algos.LDDResult { return algos.LDD(g.adj, o, beta, o.Seed) })
+}
+
+// LDD returns a low-diameter decomposition with parameter beta.
+func (e *Engine) LDD(ctx context.Context, g *Graph, beta float64) (*algos.LDDResult, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.LDD(ctx, g, beta)
+}
+
+// MustLDD is LDD with a background context.
+func (e *Engine) MustLDD(g *Graph, beta float64) *algos.LDDResult {
+	v, err := e.LDD(context.Background(), g, beta)
+	must(err)
+	return v
 }
 
 // Connectivity returns connected-component labels.
-func (e *Engine) Connectivity(g *Graph) []uint32 {
-	return algos.Connectivity(g.adj, e.opts)
+func (r *Run) Connectivity(ctx context.Context, g *Graph) ([]uint32, error) {
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.Connectivity(g.adj, o) })
+}
+
+// Connectivity returns connected-component labels.
+func (e *Engine) Connectivity(ctx context.Context, g *Graph) ([]uint32, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.Connectivity(ctx, g)
+}
+
+// MustConnectivity is Connectivity with a background context.
+func (e *Engine) MustConnectivity(g *Graph) []uint32 {
+	v, err := e.Connectivity(context.Background(), g)
+	must(err)
+	return v
 }
 
 // SpanningForest returns the edges of a spanning forest.
-func (e *Engine) SpanningForest(g *Graph) []Edge {
-	return algos.SpanningForest(g.adj, e.opts)
+func (r *Run) SpanningForest(ctx context.Context, g *Graph) ([]Edge, error) {
+	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.SpanningForest(g.adj, o) })
+}
+
+// SpanningForest returns the edges of a spanning forest.
+func (e *Engine) SpanningForest(ctx context.Context, g *Graph) ([]Edge, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.SpanningForest(ctx, g)
+}
+
+// MustSpanningForest is SpanningForest with a background context.
+func (e *Engine) MustSpanningForest(g *Graph) []Edge {
+	v, err := e.SpanningForest(context.Background(), g)
+	must(err)
+	return v
 }
 
 // Biconnectivity returns the biconnected-component labeling.
-func (e *Engine) Biconnectivity(g *Graph) *algos.BiconnResult {
-	return algos.Biconnectivity(g.adj, e.opts)
+func (r *Run) Biconnectivity(ctx context.Context, g *Graph) (*algos.BiconnResult, error) {
+	return capture(r, ctx, func(o *algos.Options) *algos.BiconnResult { return algos.Biconnectivity(g.adj, o) })
+}
+
+// Biconnectivity returns the biconnected-component labeling.
+func (e *Engine) Biconnectivity(ctx context.Context, g *Graph) (*algos.BiconnResult, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.Biconnectivity(ctx, g)
+}
+
+// MustBiconnectivity is Biconnectivity with a background context.
+func (e *Engine) MustBiconnectivity(g *Graph) *algos.BiconnResult {
+	v, err := e.Biconnectivity(context.Background(), g)
+	must(err)
+	return v
 }
 
 // MIS returns a maximal independent set (deterministic in the seed).
-func (e *Engine) MIS(g *Graph) []bool {
-	return algos.MIS(g.adj, e.opts)
+func (r *Run) MIS(ctx context.Context, g *Graph) ([]bool, error) {
+	return capture(r, ctx, func(o *algos.Options) []bool { return algos.MIS(g.adj, o) })
+}
+
+// MIS returns a maximal independent set (deterministic in the seed).
+func (e *Engine) MIS(ctx context.Context, g *Graph) ([]bool, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.MIS(ctx, g)
+}
+
+// MustMIS is MIS with a background context.
+func (e *Engine) MustMIS(g *Graph) []bool {
+	v, err := e.MIS(context.Background(), g)
+	must(err)
+	return v
 }
 
 // MaximalMatching returns a maximal matching.
-func (e *Engine) MaximalMatching(g *Graph) []Edge {
-	return algos.MaximalMatching(g.adj, e.opts)
+func (r *Run) MaximalMatching(ctx context.Context, g *Graph) ([]Edge, error) {
+	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.MaximalMatching(g.adj, o) })
+}
+
+// MaximalMatching returns a maximal matching.
+func (e *Engine) MaximalMatching(ctx context.Context, g *Graph) ([]Edge, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.MaximalMatching(ctx, g)
+}
+
+// MustMaximalMatching is MaximalMatching with a background context.
+func (e *Engine) MustMaximalMatching(g *Graph) []Edge {
+	v, err := e.MaximalMatching(context.Background(), g)
+	must(err)
+	return v
 }
 
 // Coloring returns a (Δ+1)-coloring.
-func (e *Engine) Coloring(g *Graph) []uint32 {
-	return algos.Coloring(g.adj, e.opts)
+func (r *Run) Coloring(ctx context.Context, g *Graph) ([]uint32, error) {
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.Coloring(g.adj, o) })
+}
+
+// Coloring returns a (Δ+1)-coloring.
+func (e *Engine) Coloring(ctx context.Context, g *Graph) ([]uint32, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.Coloring(ctx, g)
+}
+
+// MustColoring is Coloring with a background context.
+func (e *Engine) MustColoring(g *Graph) []uint32 {
+	v, err := e.Coloring(context.Background(), g)
+	must(err)
+	return v
 }
 
 // ApproxSetCover solves the bipartite set-cover instance (sets are
 // vertices [0, numSets)); see algos.BipartiteFromSets for the layout.
-func (e *Engine) ApproxSetCover(g *Graph, numSets uint32) []uint32 {
-	return algos.ApproxSetCover(g.adj, e.opts, numSets)
+func (r *Run) ApproxSetCover(ctx context.Context, g *Graph, numSets uint32) ([]uint32, error) {
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.ApproxSetCover(g.adj, o, numSets) })
+}
+
+// ApproxSetCover solves the bipartite set-cover instance.
+func (e *Engine) ApproxSetCover(ctx context.Context, g *Graph, numSets uint32) ([]uint32, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.ApproxSetCover(ctx, g, numSets)
+}
+
+// MustApproxSetCover is ApproxSetCover with a background context.
+func (e *Engine) MustApproxSetCover(g *Graph, numSets uint32) []uint32 {
+	v, err := e.ApproxSetCover(context.Background(), g, numSets)
+	must(err)
+	return v
 }
 
 // KCore returns the coreness of every vertex.
-func (e *Engine) KCore(g *Graph) []uint32 {
-	return algos.KCore(g.adj, e.opts)
+func (r *Run) KCore(ctx context.Context, g *Graph) ([]uint32, error) {
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.KCore(g.adj, o) })
+}
+
+// KCore returns the coreness of every vertex.
+func (e *Engine) KCore(ctx context.Context, g *Graph) ([]uint32, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.KCore(ctx, g)
+}
+
+// MustKCore is KCore with a background context.
+func (e *Engine) MustKCore(g *Graph) []uint32 {
+	v, err := e.KCore(context.Background(), g)
+	must(err)
+	return v
 }
 
 // ApproxDensestSubgraph returns a 2(1+ε)-approximate densest subgraph.
-func (e *Engine) ApproxDensestSubgraph(g *Graph) *algos.DensestResult {
-	return algos.ApproxDensestSubgraph(g.adj, e.opts)
+func (r *Run) ApproxDensestSubgraph(ctx context.Context, g *Graph) (*algos.DensestResult, error) {
+	return capture(r, ctx, func(o *algos.Options) *algos.DensestResult { return algos.ApproxDensestSubgraph(g.adj, o) })
+}
+
+// ApproxDensestSubgraph returns a 2(1+ε)-approximate densest subgraph.
+func (e *Engine) ApproxDensestSubgraph(ctx context.Context, g *Graph) (*algos.DensestResult, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.ApproxDensestSubgraph(ctx, g)
+}
+
+// MustApproxDensestSubgraph is ApproxDensestSubgraph with a background
+// context.
+func (e *Engine) MustApproxDensestSubgraph(g *Graph) *algos.DensestResult {
+	v, err := e.ApproxDensestSubgraph(context.Background(), g)
+	must(err)
+	return v
 }
 
 // TriangleCount returns the triangle count with its work counters.
-func (e *Engine) TriangleCount(g *Graph) *algos.TriangleResult {
-	return algos.TriangleCount(g.adj, e.opts)
+func (r *Run) TriangleCount(ctx context.Context, g *Graph) (*algos.TriangleResult, error) {
+	return capture(r, ctx, func(o *algos.Options) *algos.TriangleResult { return algos.TriangleCount(g.adj, o) })
+}
+
+// TriangleCount returns the triangle count with its work counters.
+func (e *Engine) TriangleCount(ctx context.Context, g *Graph) (*algos.TriangleResult, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.TriangleCount(ctx, g)
+}
+
+// MustTriangleCount is TriangleCount with a background context.
+func (e *Engine) MustTriangleCount(g *Graph) *algos.TriangleResult {
+	v, err := e.TriangleCount(context.Background(), g)
+	must(err)
+	return v
 }
 
 // PageRank iterates to convergence (eps, maxIters) and returns the ranks
 // and the number of iterations.
-func (e *Engine) PageRank(g *Graph, eps float64, maxIters int) ([]float64, int) {
-	return algos.PageRank(g.adj, e.opts, eps, maxIters)
+func (r *Run) PageRank(ctx context.Context, g *Graph, eps float64, maxIters int) ([]float64, int, error) {
+	type pr struct {
+		ranks []float64
+		iters int
+	}
+	res, err := capture(r, ctx, func(o *algos.Options) pr {
+		ranks, iters := algos.PageRank(g.adj, o, eps, maxIters)
+		return pr{ranks, iters}
+	})
+	return res.ranks, res.iters, err
+}
+
+// PageRank iterates to convergence (eps, maxIters) and returns the ranks
+// and the number of iterations.
+func (e *Engine) PageRank(ctx context.Context, g *Graph, eps float64, maxIters int) ([]float64, int, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.PageRank(ctx, g, eps, maxIters)
+}
+
+// MustPageRank is PageRank with a background context.
+func (e *Engine) MustPageRank(g *Graph, eps float64, maxIters int) ([]float64, int) {
+	ranks, iters, err := e.PageRank(context.Background(), g, eps, maxIters)
+	must(err)
+	return ranks, iters
 }
 
 // PageRankIter runs one PageRank iteration (prev -> next), returning the
 // L1 change.
-func (e *Engine) PageRankIter(g *Graph, prev, next []float64) float64 {
-	return algos.PageRankIter(g.adj, e.opts, prev, next)
+func (r *Run) PageRankIter(ctx context.Context, g *Graph, prev, next []float64) (float64, error) {
+	return capture(r, ctx, func(o *algos.Options) float64 { return algos.PageRankIter(g.adj, o, prev, next) })
+}
+
+// PageRankIter runs one PageRank iteration (prev -> next), returning the
+// L1 change.
+func (e *Engine) PageRankIter(ctx context.Context, g *Graph, prev, next []float64) (float64, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.PageRankIter(ctx, g, prev, next)
+}
+
+// MustPageRankIter is PageRankIter with a background context.
+func (e *Engine) MustPageRankIter(g *Graph, prev, next []float64) float64 {
+	v, err := e.PageRankIter(context.Background(), g, prev, next)
+	must(err)
+	return v
 }
 
 // KCliqueCount counts k-cliques (k >= 3) via recursive intersection over
 // the filter-oriented DAG — the PSAM extension the paper's §3.2 proposes.
-func (e *Engine) KCliqueCount(g *Graph, k int) int64 {
-	return algos.KCliqueCount(g.adj, e.opts, k)
+func (r *Run) KCliqueCount(ctx context.Context, g *Graph, k int) (int64, error) {
+	return capture(r, ctx, func(o *algos.Options) int64 { return algos.KCliqueCount(g.adj, o, k) })
+}
+
+// KCliqueCount counts k-cliques (k >= 3).
+func (e *Engine) KCliqueCount(ctx context.Context, g *Graph, k int) (int64, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.KCliqueCount(ctx, g, k)
+}
+
+// MustKCliqueCount is KCliqueCount with a background context.
+func (e *Engine) MustKCliqueCount(g *Graph, k int) int64 {
+	v, err := e.KCliqueCount(context.Background(), g, k)
+	must(err)
+	return v
 }
 
 // PersonalizedPageRank computes the personalized PageRank vector of src
 // (restart probability 1-damping), one of the local problems §3.2 notes
 // fit the regular PSAM. Returns the ranks and iterations used.
-func (e *Engine) PersonalizedPageRank(g *Graph, src uint32, damping, eps float64, maxIters int) ([]float64, int) {
-	return algos.PersonalizedPageRank(g.adj, e.opts, src, damping, eps, maxIters)
+func (r *Run) PersonalizedPageRank(ctx context.Context, g *Graph, src uint32, damping, eps float64, maxIters int) ([]float64, int, error) {
+	type pr struct {
+		ranks []float64
+		iters int
+	}
+	res, err := capture(r, ctx, func(o *algos.Options) pr {
+		ranks, iters := algos.PersonalizedPageRank(g.adj, o, src, damping, eps, maxIters)
+		return pr{ranks, iters}
+	})
+	return res.ranks, res.iters, err
+}
+
+// PersonalizedPageRank computes the personalized PageRank vector of src.
+func (e *Engine) PersonalizedPageRank(ctx context.Context, g *Graph, src uint32, damping, eps float64, maxIters int) ([]float64, int, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.PersonalizedPageRank(ctx, g, src, damping, eps, maxIters)
+}
+
+// MustPersonalizedPageRank is PersonalizedPageRank with a background
+// context.
+func (e *Engine) MustPersonalizedPageRank(g *Graph, src uint32, damping, eps float64, maxIters int) ([]float64, int) {
+	ranks, iters, err := e.PersonalizedPageRank(context.Background(), g, src, damping, eps, maxIters)
+	must(err)
+	return ranks, iters
 }
 
 // KTruss computes the trussness of every edge. Note the PSAM boundary
 // the paper draws (§3.2): the Θ(m)-word output forces Θ(m) small-memory
 // state, which Stats().PeakDRAMWords will reflect.
-func (e *Engine) KTruss(g *Graph) *algos.KTrussResult {
-	return algos.KTruss(g.adj, e.opts)
+func (r *Run) KTruss(ctx context.Context, g *Graph) (*algos.KTrussResult, error) {
+	return capture(r, ctx, func(o *algos.Options) *algos.KTrussResult { return algos.KTruss(g.adj, o) })
+}
+
+// KTruss computes the trussness of every edge.
+func (e *Engine) KTruss(ctx context.Context, g *Graph) (*algos.KTrussResult, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.KTruss(ctx, g)
+}
+
+// MustKTruss is KTruss with a background context.
+func (e *Engine) MustKTruss(g *Graph) *algos.KTrussResult {
+	v, err := e.KTruss(context.Background(), g)
+	must(err)
+	return v
 }
 
 // LocalCluster finds a low-conductance community around seed with a
 // personalized-PageRank sweep cut (a §3.2 local-clustering problem).
-func (e *Engine) LocalCluster(g *Graph, seed uint32, damping float64, maxSize int) *algos.LocalClusterResult {
-	return algos.LocalCluster(g.adj, e.opts, seed, damping, maxSize)
+func (r *Run) LocalCluster(ctx context.Context, g *Graph, seed uint32, damping float64, maxSize int) (*algos.LocalClusterResult, error) {
+	return capture(r, ctx, func(o *algos.Options) *algos.LocalClusterResult {
+		return algos.LocalCluster(g.adj, o, seed, damping, maxSize)
+	})
+}
+
+// LocalCluster finds a low-conductance community around seed.
+func (e *Engine) LocalCluster(ctx context.Context, g *Graph, seed uint32, damping float64, maxSize int) (*algos.LocalClusterResult, error) {
+	r := e.NewRun()
+	defer e.recycle(r)
+	return r.LocalCluster(ctx, g, seed, damping, maxSize)
+}
+
+// MustLocalCluster is LocalCluster with a background context.
+func (e *Engine) MustLocalCluster(g *Graph, seed uint32, damping float64, maxSize int) *algos.LocalClusterResult {
+	v, err := e.LocalCluster(context.Background(), g, seed, damping, maxSize)
+	must(err)
+	return v
 }

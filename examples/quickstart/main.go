@@ -1,9 +1,12 @@
 // Quickstart: the Go rendering of Figure 4 — BFS over a graph stored in
-// (simulated) NVRAM through the semi-asymmetric engine, printing the PSAM
-// statistics that certify the run performed zero NVRAM writes.
+// (simulated) NVRAM through the semi-asymmetric engine. The engine is an
+// immutable configuration; every call runs as its own session with
+// private PSAM counters, so the example prints both the per-run
+// statistics of each call and the engine's aggregate.
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"sage"
@@ -20,8 +23,8 @@ func main() {
 	// chunked traversal, all mutable state in DRAM.
 	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
 
-	// Figure 4's algorithm.
-	parents := e.BFS(g, 0)
+	// Figure 4's algorithm, as a one-liner (background context).
+	parents := e.MustBFS(g, 0)
 
 	reached := 0
 	for _, p := range parents {
@@ -31,8 +34,18 @@ func main() {
 	}
 	fmt.Printf("BFS from 0 reached %d vertices\n", reached)
 
+	// The same call as an explicit session: a Run owns its own counters,
+	// so its Stats describe this call alone — even when other goroutines
+	// use the engine concurrently.
+	run := e.NewRun()
+	if _, _, err := run.PageRank(context.Background(), g, 1e-6, 100); err != nil {
+		panic(err)
+	}
+	fmt.Println("PageRank run stats:", run.Stats())
+
+	// The engine aggregates every completed run.
 	st := e.Stats()
-	fmt.Println("PSAM stats:", st)
+	fmt.Println("engine aggregate:  ", st)
 	if st.NVRAMWrites == 0 {
 		fmt.Println("semi-asymmetric discipline held: zero NVRAM writes")
 	}
@@ -41,7 +54,7 @@ func main() {
 	// the result is identical, and the graph occupies far less NVRAM.
 	cg := g.Compress(64)
 	e2 := sage.NewEngine(sage.WithMode(sage.AppDirect))
-	parents2 := e2.BFS(cg, 0)
+	parents2 := e2.MustBFS(cg, 0)
 	same := true
 	for v := range parents {
 		if (parents[v] == ^uint32(0)) != (parents2[v] == ^uint32(0)) {

@@ -19,19 +19,19 @@ func main() {
 	src := uint32(0)
 	dst := g.NumVertices() - 1 // opposite corner
 
-	dist := e.WBFS(g, src)
+	dist := e.MustWBFS(g, src)
 	fmt.Printf("wBFS (bucketed): dist(corner->corner) = %d\n", dist[dst])
 
-	bf := e.BellmanFord(g, src)
+	bf := e.MustBellmanFord(g, src)
 	fmt.Printf("bellman-ford:    dist(corner->corner) = %d (agree: %v)\n",
 		bf[dst], int64(dist[dst]) == bf[dst])
 
-	w1 := e.WidestPath(g, src)
-	w2 := e.WidestPathBucketed(g, src)
+	w1 := e.MustWidestPath(g, src)
+	w2 := e.MustWidestPathBucketed(g, src)
 	fmt.Printf("widest path:     width(corner->corner) = %d (variants agree: %v)\n",
 		w1[dst], w1[dst] == w2[dst])
 
-	deps := e.Betweenness(g, src)
+	deps := e.MustBetweenness(g, src)
 	var maxDep float64
 	var maxV uint32
 	for v, d := range deps {

@@ -21,13 +21,13 @@ func main() {
 
 	// Triangle counting through the oriented graph filter (§4.3.4): the
 	// work counters are the quantities Table 4 studies.
-	tc := e.TriangleCount(g)
+	tc := e.MustTriangleCount(g)
 	fmt.Printf("triangles: %d (intersection work %d, decode work %d)\n",
 		tc.Count, tc.IntersectionWork, tc.TotalWork)
 
 	// Coreness of every vertex by bucketed peeling; kmax bounds the
 	// densest community's connectivity.
-	core := e.KCore(g)
+	core := e.MustKCore(g)
 	kmax := uint32(0)
 	for _, k := range core {
 		if k > kmax {
@@ -37,7 +37,7 @@ func main() {
 	fmt.Printf("coreness computed for all vertices; kmax = %d\n", kmax)
 
 	// A 2(1+eps)-approximate densest subgraph.
-	dens := e.ApproxDensestSubgraph(g)
+	dens := e.MustApproxDensestSubgraph(g)
 	members := 0
 	for _, in := range dens.InSub {
 		if in {

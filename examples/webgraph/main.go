@@ -20,7 +20,7 @@ func main() {
 
 	e := sage.NewEngine(sage.WithMode(sage.AppDirect), sage.WithFilterBlockSize(64))
 
-	labels := e.Connectivity(g)
+	labels := e.MustConnectivity(g)
 	comps := map[uint32]int{}
 	for _, l := range labels {
 		comps[l]++
@@ -34,7 +34,7 @@ func main() {
 	fmt.Printf("connectivity: %d components; largest holds %.1f%% of vertices\n",
 		len(comps), 100*float64(largest)/float64(g.NumVertices()))
 
-	ranks, iters := e.PageRank(g, 1e-6, 100)
+	ranks, iters := e.MustPageRank(g, 1e-6, 100)
 	best, bestRank := uint32(0), 0.0
 	for v, r := range ranks {
 		if r > bestRank {
@@ -44,7 +44,7 @@ func main() {
 	fmt.Printf("pagerank: converged in %d iterations; top vertex %d (rank %.2e, degree %d)\n",
 		iters, best, bestRank, g.Degree(best))
 
-	spanner := e.Spanner(g, 0)
+	spanner := e.MustSpanner(g, 0)
 	fmt.Printf("O(log n)-spanner: %d edges (%.2f x n) preserving distances within O(log n)\n",
 		len(spanner), float64(len(spanner))/float64(g.NumVertices()))
 

@@ -24,13 +24,11 @@ import (
 // Infinity marks unreached vertices in distance/parent arrays.
 const Infinity = ^uint32(0)
 
-// algoScratch holds one decode buffer per worker for the closure-free
-// adjacency iteration (graph.Flat) used by the algorithm inner loops that
-// scan adjacency directly (PageRank, Connectivity's contraction, KCore's
-// peeling, the neighbor histogram). Same ownership discipline as the
-// traversal layer's scratch: indexed by the parallel worker id, never
-// shared across nesting levels.
-var algoScratch [parallel.MaxWorkers]graph.Scratch
+// fallbackScratch backs the algorithm inner loops of callers that do not
+// thread per-run pools (o.Traverse.Pools == nil): single-run tools and
+// tests that never traverse concurrently. Runs issued through the public
+// engine always carry their own pools.
+var fallbackScratch graph.ScratchPool
 
 // Options configures an algorithm run.
 type Options struct {
@@ -89,6 +87,22 @@ func (o *Options) edgeMap(g graph.Adj, vs *frontier.VertexSubset, ops traverse.O
 	return traverse.EdgeMap(g, o.Env, vs, ops, opt)
 }
 
+// scratch returns worker w's decode buffer from the run's pools (or the
+// shared fallback for callers that do not thread pools). The ownership
+// discipline matches the traversal layer: indexed by the parallel worker
+// id, never shared across nesting levels or across concurrent runs.
+func (o *Options) scratch(w int) *graph.Scratch {
+	if p := o.Traverse.Pools; p != nil {
+		return p.Scratch(w)
+	}
+	return fallbackScratch.Get(w)
+}
+
+// Checkpoint polls the run's cancellation context (iteration boundary).
+// It must be called from the goroutine driving the algorithm, never from
+// inside a parallel loop body.
+func (o *Options) Checkpoint() { o.Env.Checkpoint() }
+
 // hash64 mixes x with the seed (shared by the randomized algorithms).
 func hash64(x, seed uint64) uint64 {
 	x ^= seed + 0x9e3779b97f4a7c15
@@ -127,7 +141,8 @@ func sumDegrees(g graph.Adj, ids []uint32) int64 {
 // (O(m) work but O(n) memory); otherwise it gathers the neighbor multiset
 // and runs a sort-based histogram (work proportional to the frontier).
 // The keep predicate restricts counting to live vertices.
-func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bool) []parallel.KeyCount {
+func neighborCounts(g graph.Adj, o *Options, s []uint32, keep func(uint32) bool) []parallel.KeyCount {
+	env := o.Env
 	n := int(g.NumVertices())
 	sumDeg := sumDegrees(g, s)
 	flat := graph.NewFlat(g)
@@ -137,7 +152,7 @@ func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bo
 		parallel.For(len(s), 0, func(i int) { inS[s[i]] = true })
 		counts := make([]uint32, n)
 		parallel.ForBlocks(n, 64, func(w, lo, hi int) {
-			sc := &algoScratch[w]
+			sc := o.scratch(w)
 			var scanned int64
 			for i := lo; i < hi; i++ {
 				v := uint32(i)
@@ -177,7 +192,7 @@ func neighborCounts(g graph.Adj, env *psam.Env, s []uint32, keep func(uint32) bo
 		deg := g.Degree(v)
 		env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, deg))
 		wr := offs[i]
-		nghs, _ := flat.Slice(v, 0, deg, &algoScratch[w])
+		nghs, _ := flat.Slice(v, 0, deg, o.scratch(w))
 		for _, ngh := range nghs {
 			if keep(ngh) {
 				keys[wr] = ngh

@@ -48,6 +48,7 @@ func (r *BiconnResult) IsBridge(v uint32) bool {
 // graph, with a large subset of the edges removed"). O(m) expected work,
 // O(dG log n + log³ n) depth whp, O(n + m/64) words in practice.
 func Biconnectivity(g graph.Adj, o *Options) *BiconnResult {
+	o.Checkpoint()
 	n := g.NumVertices()
 
 	// 1. Spanning forest roots: one BFS source per connected component.

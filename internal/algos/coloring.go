@@ -54,6 +54,7 @@ func Coloring(g graph.Adj, o *Options) []uint32 {
 
 	roots := parallel.PackIndex(int(n), func(i int) bool { return count[i] == 0 })
 	for len(roots) > 0 {
+		o.Checkpoint()
 		nextCand := make([][]uint32, parallel.Workers())
 		parallel.ForWorker(len(roots), 4, func(w, i int) {
 			v := roots[i]

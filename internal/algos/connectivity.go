@@ -24,6 +24,7 @@ func Connectivity(g graph.Adj, o *Options) []uint32 {
 }
 
 func connectivityRec(g graph.Adj, o *Options, seed uint64, depth int) []uint32 {
+	o.Checkpoint() // contraction-level boundary
 	n := g.NumVertices()
 	if g.NumEdges() == 0 {
 		return parallel.Tabulate(int(n), func(i int) uint32 { return uint32(i) })
@@ -86,7 +87,7 @@ func contract(g graph.Adj, o *Options, cluster []uint32, inter int64, witness *p
 	defer o.Env.Free(2 * (inter + 1))
 	flat := graph.NewFlat(g)
 	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
-		sc := &algoScratch[w]
+		sc := o.scratch(w)
 		for i := lo; i < hi; i++ {
 			v := uint32(i)
 			cv := cluster[v]
@@ -123,6 +124,7 @@ func SpanningForest(g graph.Adj, o *Options) []graph.Edge {
 }
 
 func spanningForestRec(g graph.Adj, o *Options, seed uint64) []graph.Edge {
+	o.Checkpoint() // contraction-level boundary
 	if g.NumEdges() == 0 {
 		return nil
 	}

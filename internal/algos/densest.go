@@ -41,6 +41,7 @@ func ApproxDensestSubgraph(g graph.Adj, o *Options) *DensestResult {
 	round := int32(0)
 
 	for liveN > 0 {
+		o.Checkpoint()
 		density := float64(liveArcs) / 2 / float64(liveN)
 		if density > bestDensity {
 			bestDensity = density
@@ -60,7 +61,7 @@ func ApproxDensestSubgraph(g graph.Adj, o *Options) *DensestResult {
 			removedRound[peel[i]] = round
 		})
 		var lost int64
-		counts := neighborCounts(g, o.Env, peel, func(v uint32) bool { return alive[v] })
+		counts := neighborCounts(g, o, peel, func(v uint32) bool { return alive[v] })
 		parallel.For(len(counts), 0, func(i int) {
 			deg[counts[i].Key] -= counts[i].Count
 		})

@@ -15,6 +15,7 @@ import (
 // words of per-worker candidate buffers — no NVRAM writes.
 // KCliqueCount(g, o, 3) equals TriangleCount(g, o).Count.
 func KCliqueCount(g graph.Adj, o *Options, k int) int64 {
+	o.Checkpoint()
 	if k < 3 {
 		panic("algos: KCliqueCount requires k >= 3")
 	}

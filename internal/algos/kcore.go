@@ -28,6 +28,7 @@ func KCore(g graph.Adj, o *Options) []uint32 {
 	b := bucket.New(prio, bucket.Increasing)
 
 	for {
+		o.Checkpoint()
 		k, peeled, ok := b.NextBucket()
 		if !ok {
 			break
@@ -37,7 +38,7 @@ func KCore(g graph.Adj, o *Options) []uint32 {
 			kcoreFetchAdd(g, o, b, peeled, deg, k)
 			continue
 		}
-		counts := neighborCounts(g, o.Env, peeled, func(v uint32) bool {
+		counts := neighborCounts(g, o, peeled, func(v uint32) bool {
 			return b.Priority(v) != bucket.Null
 		})
 		if len(counts) == 0 {
@@ -72,7 +73,7 @@ func kcoreFetchAdd(g graph.Adj, o *Options, b *bucket.Buckets, peeled []uint32, 
 		v := peeled[i]
 		dv := g.Degree(v)
 		o.Env.GraphRead(w, g.EdgeAddr(v), g.ScanCost(v, 0, dv))
-		nghs, _ := fa.Slice(v, 0, dv, &algoScratch[w])
+		nghs, _ := fa.Slice(v, 0, dv, o.scratch(w))
 		for _, u := range nghs {
 			if b.Priority(u) == bucket.Null {
 				continue

@@ -146,6 +146,7 @@ func KTruss(g graph.Adj, o *Options) *KTrussResult {
 	parallel.Fill(removalRound, -1)
 	round := int32(0)
 	for {
+		o.Checkpoint()
 		s, peeled, ok := b.NextBucket()
 		if !ok {
 			break

@@ -124,7 +124,7 @@ func CountInterCluster(g graph.Adj, o *Options, cluster []uint32) int64 {
 	}
 	flat := graph.NewFlat(g)
 	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
-		sc := &algoScratch[w]
+		sc := o.scratch(w)
 		var c, scanned int64
 		for i := lo; i < hi; i++ {
 			v := uint32(i)

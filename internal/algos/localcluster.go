@@ -23,6 +23,7 @@ type LocalClusterResult struct {
 // O(n) PPR vectors plus the sweep's O(n) order — the graph is only read.
 // maxSize bounds the sweep prefix (0 means n).
 func LocalCluster(g graph.Adj, o *Options, seed uint32, damping float64, maxSize int) *LocalClusterResult {
+	o.Checkpoint()
 	n := int(g.NumVertices())
 	if maxSize <= 0 || maxSize > n {
 		maxSize = n

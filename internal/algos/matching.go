@@ -28,6 +28,7 @@ func MaximalMatching(g graph.Adj, o *Options) []graph.Edge {
 	budget := int64(2 * n)
 
 	for f.ActiveEdges() > 0 && vCut < n {
+		o.Checkpoint()
 		// Advance the cut so the phase covers ~budget active edges.
 		newCut := vCut
 		var acc int64

@@ -54,6 +54,7 @@ func MIS(g graph.Adj, o *Options) []bool {
 	// Initial rootset: undecided vertices with no earlier neighbors.
 	roots := parallel.PackIndex(int(n), func(i int) bool { return count[i] == 0 })
 	for len(roots) > 0 {
+		o.Checkpoint()
 		// Roots join the MIS; their neighbors leave. Two roots cannot be
 		// adjacent: a root has no earlier undecided neighbor, and of two
 		// adjacent roots one would be the other's earlier undecided

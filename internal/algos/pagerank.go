@@ -20,6 +20,7 @@ const prParallelDegree = 8192
 // prev, writing into next (both length n), and returns the L1 change.
 // O(m) work, O(log n) depth, O(n) words of small-memory per iteration.
 func PageRankIter(g graph.Adj, o *Options, prev, next []float64) float64 {
+	o.Checkpoint() // one iteration is the cancellation granularity
 	n := int(g.NumVertices())
 	// Pre-divide by degree so the pull only sums contributions.
 	contrib := make([]float64, n)
@@ -37,7 +38,7 @@ func PageRankIter(g graph.Adj, o *Options, prev, next []float64) float64 {
 		_ [56]byte
 	}
 	parallel.ForBlocks(n, 64, func(w, lo, hi int) {
-		sc := &algoScratch[w]
+		sc := o.scratch(w)
 		var scanned int64
 		var l1 float64
 		for i := lo; i < hi; i++ {

@@ -34,6 +34,7 @@ func PersonalizedPageRank(g graph.Adj, o *Options, src uint32, damping, eps floa
 
 	iters := 0
 	for iters < maxIters {
+		o.Checkpoint()
 		parallel.For(n, 0, func(i int) {
 			if d := g.Degree(uint32(i)); d > 0 {
 				contrib[i] = prev[i] / float64(d)

@@ -71,6 +71,7 @@ func ApproxSetCover(g graph.Adj, o *Options, numSets uint32) []uint32 {
 
 	var cover []uint32
 	for {
+		o.Checkpoint()
 		t, sets, ok := b.NextBucket()
 		if !ok {
 			break

@@ -14,6 +14,7 @@ import (
 // O(k). With the paper's default k = ⌈log₂ n⌉ the spanner has O(n) edges.
 // O(m) expected work, O(k log n) depth whp.
 func Spanner(g graph.Adj, o *Options, k int) []graph.Edge {
+	o.Checkpoint()
 	n := g.NumVertices()
 	if k <= 0 {
 		k = int(math.Ceil(math.Log2(float64(max(n, 2)))))

@@ -24,6 +24,7 @@ type TriangleResult struct {
 // contributes |N⁺(u) ∩ N⁺(v)| via merge intersection over the filters'
 // active lists. O(m^{3/2}) work, O(n + m/64) words of small-memory.
 func TriangleCount(g graph.Adj, o *Options) *TriangleResult {
+	o.Checkpoint()
 	rankLess := func(a, b uint32) bool {
 		da, db := g.Degree(a), g.Degree(b)
 		if da != db {

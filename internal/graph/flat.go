@@ -9,6 +9,8 @@ package graph
 // caller-owned scratch buffer (byte-compressed formats), so the per-edge
 // cost is a plain slice iteration and decode cost is amortized per block.
 
+import "sage/internal/parallel"
+
 // FlatAdj is the optional closure-free access path implemented by
 // adjacency representations that can expose position ranges as flat
 // slices. All in-repo representations implement it; the traversal layer
@@ -38,6 +40,19 @@ type Scratch struct {
 	Ws   []int32
 	_    [16]byte
 }
+
+// ScratchPool is a full set of per-worker decode buffers owned by one
+// logical run. Worker ids are unique at any instant (the persistent pool
+// and the transient fallback both index [0, Workers())), but two
+// *concurrent* runs each see the full id range — so buffers shared
+// across runs would race. Each run therefore owns a ScratchPool; the
+// zero value is ready to use.
+type ScratchPool struct {
+	ws [parallel.MaxWorkers]Scratch
+}
+
+// Get returns worker w's scratch buffer.
+func (p *ScratchPool) Get(w int) *Scratch { return &p.ws[w] }
 
 // Flat resolves an Adj's fastest access path once, outside the hot loop.
 // The zero value is not meaningful; use NewFlat.

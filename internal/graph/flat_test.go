@@ -81,14 +81,14 @@ func checkFlat(t *testing.T, label string, v, lo, hi uint32, nghs []uint32, ws [
 // implementation, forcing the generic IterRange materialization path.
 type fallbackAdj struct{ g *Graph }
 
-func (a fallbackAdj) NumVertices() uint32               { return a.g.NumVertices() }
-func (a fallbackAdj) NumEdges() uint64                  { return a.g.NumEdges() }
-func (a fallbackAdj) Degree(v uint32) uint32            { return a.g.Degree(v) }
-func (a fallbackAdj) AvgDegree() uint32                 { return a.g.AvgDegree() }
-func (a fallbackAdj) EdgeAddr(v uint32) int64           { return a.g.EdgeAddr(v) }
-func (a fallbackAdj) ScanCost(v, lo, hi uint32) int64   { return a.g.ScanCost(v, lo, hi) }
-func (a fallbackAdj) BlockSize() int                    { return a.g.BlockSize() }
-func (a fallbackAdj) Weighted() bool                    { return a.g.Weighted() }
+func (a fallbackAdj) NumVertices() uint32             { return a.g.NumVertices() }
+func (a fallbackAdj) NumEdges() uint64                { return a.g.NumEdges() }
+func (a fallbackAdj) Degree(v uint32) uint32          { return a.g.Degree(v) }
+func (a fallbackAdj) AvgDegree() uint32               { return a.g.AvgDegree() }
+func (a fallbackAdj) EdgeAddr(v uint32) int64         { return a.g.EdgeAddr(v) }
+func (a fallbackAdj) ScanCost(v, lo, hi uint32) int64 { return a.g.ScanCost(v, lo, hi) }
+func (a fallbackAdj) BlockSize() int                  { return a.g.BlockSize() }
+func (a fallbackAdj) Weighted() bool                  { return a.g.Weighted() }
 func (a fallbackAdj) IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w int32) bool) {
 	a.g.IterRange(v, lo, hi, fn)
 }

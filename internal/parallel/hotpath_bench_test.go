@@ -24,7 +24,7 @@ func BenchmarkForBlocksOverhead(b *testing.B) {
 		name     string
 		n, grain int
 	}{
-		{"n=4096,grain=256", 4096, 256},   // 16 blocks: a small frontier round
+		{"n=4096,grain=256", 4096, 256},     // 16 blocks: a small frontier round
 		{"n=65536,grain=1024", 65536, 1024}, // 64 blocks: a mid-size loop
 	}
 	for _, tc := range cases {

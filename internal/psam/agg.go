@@ -1,0 +1,75 @@
+package psam
+
+import "sync/atomic"
+
+// AtomicCounts is a lock-free aggregation target for per-run access
+// counts: each completed (or cancelled) run merges its Env totals and
+// small-memory peak here, so an engine shared by many goroutines can
+// expose accumulated statistics without serializing the runs themselves.
+// Counter fields accumulate by addition; the peak accumulates by maximum,
+// since concurrent runs each track their own residency.
+type AtomicCounts struct {
+	dramReads, dramWrites   atomic.Int64
+	nvramReads, nvramWrites atomic.Int64
+	cacheHits, cacheMisses  atomic.Int64
+	peak                    atomic.Int64
+}
+
+// Merge adds a run's counter totals into the aggregate.
+func (a *AtomicCounts) Merge(c Counts) {
+	if c.DRAMReads != 0 {
+		a.dramReads.Add(c.DRAMReads)
+	}
+	if c.DRAMWrites != 0 {
+		a.dramWrites.Add(c.DRAMWrites)
+	}
+	if c.NVRAMReads != 0 {
+		a.nvramReads.Add(c.NVRAMReads)
+	}
+	if c.NVRAMWrites != 0 {
+		a.nvramWrites.Add(c.NVRAMWrites)
+	}
+	if c.CacheHits != 0 {
+		a.cacheHits.Add(c.CacheHits)
+	}
+	if c.CacheMisses != 0 {
+		a.cacheMisses.Add(c.CacheMisses)
+	}
+}
+
+// MergePeak raises the aggregate peak to p if it is larger.
+func (a *AtomicCounts) MergePeak(p int64) {
+	for {
+		cur := a.peak.Load()
+		if p <= cur || a.peak.CompareAndSwap(cur, p) {
+			return
+		}
+	}
+}
+
+// Totals returns a snapshot of the aggregated counters.
+func (a *AtomicCounts) Totals() Counts {
+	return Counts{
+		DRAMReads:   a.dramReads.Load(),
+		DRAMWrites:  a.dramWrites.Load(),
+		NVRAMReads:  a.nvramReads.Load(),
+		NVRAMWrites: a.nvramWrites.Load(),
+		CacheHits:   a.cacheHits.Load(),
+		CacheMisses: a.cacheMisses.Load(),
+	}
+}
+
+// Peak returns the aggregated small-memory peak.
+func (a *AtomicCounts) Peak() int64 { return a.peak.Load() }
+
+// Reset zeroes the aggregate. Runs still in flight merge their totals
+// when they complete, after the reset.
+func (a *AtomicCounts) Reset() {
+	a.dramReads.Store(0)
+	a.dramWrites.Store(0)
+	a.nvramReads.Store(0)
+	a.nvramWrites.Store(0)
+	a.cacheHits.Store(0)
+	a.cacheMisses.Store(0)
+	a.peak.Store(0)
+}

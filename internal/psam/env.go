@@ -1,5 +1,7 @@
 package psam
 
+import "context"
+
 // Mode selects where the graph and the algorithm's temporary state live,
 // matching the experimental configurations of §5.4 and §5.5.
 type Mode int
@@ -46,6 +48,36 @@ type Env struct {
 	Space    *Space
 	Cache    *Cache
 	Throttle *Throttle
+
+	// Ctx, when non-nil, is the cancellation context of the run this
+	// environment accounts for. Algorithms poll it through Checkpoint at
+	// frontier/iteration boundaries; a cancelled context unwinds the run
+	// with a Cancellation panic that the public API converts back into
+	// ctx.Err(). Ctx is written only by the goroutine driving the run,
+	// between algorithm calls — never by the parallel workers.
+	Ctx context.Context
+}
+
+// Cancellation is the panic payload that unwinds an algorithm whose
+// context was cancelled at a Checkpoint. The engine's Run wrapper
+// recovers it and returns Err; any other panic value is re-raised.
+type Cancellation struct{ Err error }
+
+// Checkpoint polls the bound context and unwinds the run with a
+// Cancellation panic if it is done. It is called at frontier and
+// iteration boundaries, always from the goroutine driving the algorithm
+// (never inside a parallel loop body, where a panic could not be
+// recovered by the caller). A nil Env or unbound context is a no-op, so
+// accounting-free runs and internal callers are unaffected.
+func (e *Env) Checkpoint() {
+	if e == nil || e.Ctx == nil {
+		return
+	}
+	select {
+	case <-e.Ctx.Done():
+		panic(Cancellation{Err: e.Ctx.Err()})
+	default:
+	}
 }
 
 // NewEnv returns an accounting environment for the given mode with default

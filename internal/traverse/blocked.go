@@ -36,6 +36,7 @@ func edgeMapBlocked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 	}
 	counts := make([]int, nBlocks)
 	flat := graph.NewFlat(g)
+	pools := poolsOf(opt)
 	parallel.ForWorker(nBlocks, 1, func(w, b int) {
 		lo := int64(b) * blockedBlockSize
 		hi := min(lo+blockedBlockSize, outDeg)
@@ -48,7 +49,7 @@ func edgeMapBlocked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 			vLo := uint32(e - offs[vi])
 			vHi := uint32(min(offs[vi+1], hi) - offs[vi])
 			env.GraphRead(w, g.EdgeAddr(u)+int64(vLo), g.ScanCost(u, vLo, vHi))
-			nghs, ws := flat.Slice(u, vLo, vHi, &flatScratch[w])
+			nghs, ws := flat.Slice(u, vLo, vHi, pools.Scratch(w))
 			if ws == nil {
 				for _, d := range nghs {
 					if ops.Cond(d) && ops.UpdateAtomic(u, d, 1) {

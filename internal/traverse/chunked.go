@@ -21,14 +21,14 @@ const minChunkSize = 512
 // chunkPool recycles output chunks across edgeMapChunked calls with
 // per-worker free lists (the "pool-based thread-local allocator" of
 // Algorithm 1, line 3). The pool bounds live chunk memory by O(n) words.
+// One chunkPool belongs to one run's Pools; concurrent runs never share
+// free lists.
 type chunkPool struct {
 	lists [parallel.MaxWorkers]struct {
 		free [][]uint32
 		_    [40]byte
 	}
 }
-
-var pool chunkPool
 
 // get returns an empty chunk with at least capacity cap.
 func (p *chunkPool) get(worker, capacity int) []uint32 {
@@ -121,6 +121,7 @@ func EdgeMapChunked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 	// (or aliases the CSR edge array with no copy at all).
 	groupChunks := make([][][]uint32, numGroups)
 	flat := graph.NewFlat(g)
+	pools := poolsOf(opt)
 	parallel.ForWorker(numGroups, 1, func(w, gi int) {
 		var vec [][]uint32
 		var cur []uint32
@@ -131,14 +132,14 @@ func EdgeMapChunked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 				if cur != nil {
 					vec = append(vec, cur)
 				}
-				cur = pool.get(w, chunkSize)
+				cur = pools.chunks.get(w, chunkSize)
 				env.Alloc(int64(cap(cur)))
 			}
 			u := sp[blockVtx[b]]
 			lo := blockLo[b]
 			hi := lo + uint32(bDeg)
 			env.GraphRead(w, g.EdgeAddr(u)+int64(lo), g.ScanCost(u, lo, hi))
-			nghs, ws := flat.Slice(u, lo, hi, &flatScratch[w])
+			nghs, ws := flat.Slice(u, lo, hi, pools.Scratch(w))
 			if ws == nil {
 				for _, d := range nghs {
 					if ops.Cond(d) && ops.UpdateAtomic(u, d, 1) {
@@ -174,7 +175,7 @@ func EdgeMapChunked(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops O
 	}
 	parallel.ForWorker(len(all), 4, func(w, i int) {
 		env.Free(int64(cap(all[i])))
-		pool.put(w, all[i])
+		pools.chunks.put(w, all[i])
 	})
 	if opt.NoOutput {
 		return frontier.Empty(n)

@@ -1,14 +1,37 @@
 package traverse
 
-import (
-	"sage/internal/graph"
-	"sage/internal/parallel"
-)
+import "sage/internal/graph"
 
-// flatScratch holds one decode buffer per worker for the closure-free
-// edge iteration (graph.Flat). Buffers grow to the largest range decoded
-// and are reused across every edgeMap call, so steady-state traversal
-// does not allocate for decoding. Worker indices come from the parallel
-// package's [0, Workers()) contract; like the chunk pool, the scratch
-// assumes top-level traversals do not run concurrently with each other.
-var flatScratch [parallel.MaxWorkers]graph.Scratch
+// Pools owns the per-worker mutable scratch of one logical run: the
+// decode buffers for the closure-free edge iteration (graph.Flat) and
+// the chunked traversal's chunk free lists. Buffers grow to the largest
+// range decoded and are reused across every edgeMap call of the run, so
+// steady-state traversal does not allocate for decoding.
+//
+// Worker indices come from the parallel package's [0, Workers())
+// contract and are unique at any instant — but two concurrent top-level
+// runs each use the full index range, so scratch shared across runs
+// would race. Each run therefore threads its own Pools through
+// Options.Pools; callers that leave it nil (single-run tools, tests)
+// share the package-level fallback and must not traverse concurrently.
+type Pools struct {
+	decode graph.ScratchPool
+	chunks chunkPool
+}
+
+// NewPools returns an empty per-run scratch set.
+func NewPools() *Pools { return &Pools{} }
+
+// Scratch returns worker w's decode buffer.
+func (p *Pools) Scratch(w int) *graph.Scratch { return p.decode.Get(w) }
+
+// sharedPools backs traversals that do not thread per-run pools.
+var sharedPools Pools
+
+// poolsOf resolves an Options' pools, falling back to the shared set.
+func poolsOf(opt Options) *Pools {
+	if opt.Pools != nil {
+		return opt.Pools
+	}
+	return &sharedPools
+}

@@ -87,12 +87,17 @@ type Options struct {
 	// Dedup removes duplicate targets from sparse outputs (needed when
 	// UpdateAtomic can return true more than once per target).
 	Dedup bool
+	// Pools is the per-run scratch set (decode buffers + chunk free
+	// lists). Nil selects a shared fallback, which is only safe when
+	// top-level traversals are not issued concurrently.
+	Pools *Pools
 }
 
 // EdgeMap applies ops over the edges out of vs and returns the subset of
 // targets for which an update succeeded (Theorem 4.1: O(Σ deg) work,
 // O(log n) depth, O(n) small-memory words with the Chunked strategy).
 func EdgeMap(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt Options) *frontier.VertexSubset {
+	env.Checkpoint() // frontier boundary: a cancelled run unwinds here
 	n := g.NumVertices()
 	if vs.Size() == 0 {
 		return frontier.Empty(n)
@@ -154,13 +159,14 @@ func edgeMapDense(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops
 		env.Alloc(int64(n+7) / 8)
 	}
 	flat := graph.NewFlat(g)
+	pools := poolsOf(opt)
 	var outCounts [parallel.MaxWorkers]struct {
 		c int64
 		_ [56]byte
 	}
 	zeroCopy := flat.ZeroCopy()
 	parallel.ForBlocks(int(n), 256, func(w, lo, hi int) {
-		sc := &flatScratch[w]
+		sc := pools.Scratch(w)
 		var scanned, produced int64
 		for i := lo; i < hi; i++ {
 			d := uint32(i)
@@ -250,12 +256,13 @@ func edgeMapSparse(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Op
 	env.Alloc(outDeg + int64(len(sp)))
 	defer env.Free(outDeg + int64(len(sp)))
 	flat := graph.NewFlat(g)
+	pools := poolsOf(opt)
 	parallel.ForWorker(len(sp), 16, func(w, i int) {
 		u := sp[i]
 		deg := g.Degree(u)
 		base := offs[i]
 		env.GraphRead(w, g.EdgeAddr(u), g.ScanCost(u, 0, deg))
-		nghs, ws := flat.Slice(u, 0, deg, &flatScratch[w])
+		nghs, ws := flat.Slice(u, 0, deg, pools.Scratch(w))
 		if ws == nil {
 			for j, d := range nghs {
 				if ops.Cond(d) && ops.UpdateAtomic(u, d, 1) {

@@ -90,7 +90,7 @@ func TestPSAMStatsRegression(t *testing.T) {
 					t.Errorf("%s: stats drifted:\n got  %+v\n want %+v", name, got, want)
 				}
 			}
-			run("bfs", func() { e.BFS(g, 0) })
+			run("bfs", func() { e.MustBFS(g, 0) })
 			run("pagerankiter", func() {
 				n := int(g.NumVertices())
 				prev := make([]float64, n)
@@ -98,10 +98,10 @@ func TestPSAMStatsRegression(t *testing.T) {
 				for i := range prev {
 					prev[i] = 1 / float64(n)
 				}
-				e.PageRankIter(g, prev, next)
+				e.MustPageRankIter(g, prev, next)
 			})
-			run("connectivity", func() { e.Connectivity(g) })
-			run("kcore", func() { e.KCore(g) })
+			run("connectivity", func() { e.MustConnectivity(g) })
+			run("kcore", func() { e.MustKCore(g) })
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package sage
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sage/internal/algos"
+)
+
+// This file is the public face of the unified algorithm registry: an
+// enumerable description of every algorithm (name, parameter schema) and
+// a name-based invoker that dispatches through the same per-run session
+// machinery as the typed methods. The sage-run CLI and the experiment
+// harness both derive their dispatch from the same underlying registry,
+// so an algorithm added there is immediately runnable everywhere.
+
+// ParamKind is the type of one algorithm parameter.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	// ParamVertex is a vertex id.
+	ParamVertex = ParamKind(algos.ArgVertex)
+	// ParamInt is an integer parameter.
+	ParamInt = ParamKind(algos.ArgInt)
+	// ParamFloat is a floating-point parameter.
+	ParamFloat = ParamKind(algos.ArgFloat)
+)
+
+// String names the kind for listings.
+func (k ParamKind) String() string { return algos.ArgKind(k).String() }
+
+// AlgorithmParam describes one parameter of an algorithm beyond the
+// graph. Name matches the AlgoArgs field it binds to (lower-cased).
+type AlgorithmParam struct {
+	Name    string
+	Kind    ParamKind
+	Default float64
+	Doc     string
+}
+
+// Algorithm describes one registered algorithm.
+type Algorithm struct {
+	// Name is the canonical key accepted by RunAlgorithm ("bfs", ...).
+	Name string
+	// Title is the display name used in the paper's figures.
+	Title string
+	// Doc is a one-line description.
+	Doc string
+	// Weighted algorithms interpret edge weights (all 1 on unweighted
+	// inputs).
+	Weighted bool
+	// SetCover algorithms run on a bipartite set-cover instance and
+	// require AlgoArgs.NumSets.
+	SetCover bool
+	// Params is the parameter schema beyond the graph.
+	Params []AlgorithmParam
+}
+
+// Algorithms enumerates the registry: the paper's Figure 1 suite in
+// order, then the PSAM-extension problems.
+func Algorithms() []Algorithm {
+	specs := algos.Registry()
+	out := make([]Algorithm, len(specs))
+	for i, s := range specs {
+		params := make([]AlgorithmParam, len(s.Args))
+		for j, a := range s.Args {
+			params[j] = AlgorithmParam{Name: a.Name, Kind: ParamKind(a.Kind), Default: a.Default, Doc: a.Doc}
+		}
+		out[i] = Algorithm{
+			Name: s.Name, Title: s.Title, Doc: s.Doc,
+			Weighted: s.Weighted, SetCover: s.SetCover, Params: params,
+		}
+	}
+	return out
+}
+
+// AlgorithmNames returns the canonical registry names in order.
+func AlgorithmNames() []string { return algos.Names() }
+
+// AlgoArgs carries the per-call parameters of a registry invocation.
+// Zero values select each algorithm's documented default (see
+// Algorithms()[i].Params).
+type AlgoArgs struct {
+	Src      uint32
+	K        int
+	Eps      float64
+	MaxIters int
+	Beta     float64
+	Damping  float64
+	NumSets  uint32
+	MaxSize  int
+}
+
+// AlgoResult is a registry invocation's outcome.
+type AlgoResult struct {
+	// Value is the algorithm's raw output (e.g. []uint32 parents for
+	// "bfs"); consult the typed methods for each algorithm's type.
+	Value any
+	// Summary is a one-line human-readable result description.
+	Summary string
+	// Stats is the invocation's own PSAM accounting.
+	Stats RunStats
+}
+
+// RunAlgorithm invokes a registered algorithm by name as its own Run:
+// private counters merged into the engine aggregate, cancellation at
+// frontier/iteration boundaries, per-call stats in the result. Unknown
+// names report the registry's contents.
+func (e *Engine) RunAlgorithm(ctx context.Context, name string, g *Graph, args AlgoArgs) (*AlgoResult, error) {
+	spec, ok := algos.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sage: unknown algorithm %q (known: %s)",
+			name, strings.Join(algos.Names(), ", "))
+	}
+	if spec.SetCover && args.NumSets == 0 {
+		return nil, fmt.Errorf("sage: algorithm %q requires AlgoArgs.NumSets > 0", name)
+	}
+	for _, a := range spec.Args {
+		if a.Name == "src" && args.Src >= g.NumVertices() {
+			return nil, fmt.Errorf("sage: source vertex %d out of range (graph has %d vertices)",
+				args.Src, g.NumVertices())
+		}
+	}
+	if spec.Validate != nil {
+		if err := spec.Validate(algos.Args(args)); err != nil {
+			return nil, fmt.Errorf("sage: %w", err)
+		}
+	}
+	r := e.NewRun()
+	defer e.recycle(r)
+	res, err := capture(r, ctx, func(o *algos.Options) algos.Result {
+		return spec.Run(g.adj, o, algos.Args(args))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AlgoResult{Value: res.Value, Summary: res.Summary, Stats: r.Stats()}, nil
+}

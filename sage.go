@@ -14,8 +14,16 @@
 //
 //	g := sage.GenerateRMAT(18, 16, 1)
 //	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
-//	parents := e.BFS(g, 0)
+//	parents := e.MustBFS(g, 0)
 //	fmt.Println(e.Stats())
+//
+// Engines are immutable and goroutine-safe: every call executes as its
+// own Run with private PSAM counters merged into the engine aggregate on
+// completion, so concurrent calls on one engine are correct by
+// construction. The context-aware forms (e.BFS(ctx, g, 0)) cancel at
+// frontier/iteration boundaries and return ctx.Err(); sage.Algorithms
+// enumerates the registry behind the typed methods, invokable by name
+// through Engine.RunAlgorithm.
 package sage
 
 import (

@@ -13,7 +13,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Fatalf("n=%d", g.NumVertices())
 	}
 	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
-	parents := e.BFS(g, 0)
+	parents := e.MustBFS(g, 0)
 	if parents[0] != 0 {
 		t.Fatal("source not its own parent")
 	}
@@ -35,58 +35,58 @@ func TestPublicAPIAllAlgorithms(t *testing.T) {
 	wg := g.WithUniformWeights(3)
 	e := sage.NewEngine()
 
-	if got := e.BFS(g, 0); len(got) != int(g.NumVertices()) {
+	if got := e.MustBFS(g, 0); len(got) != int(g.NumVertices()) {
 		t.Fatal("bfs")
 	}
-	if got := e.WBFS(wg, 0); got[0] != 0 {
+	if got := e.MustWBFS(wg, 0); got[0] != 0 {
 		t.Fatal("wbfs")
 	}
-	if got := e.BellmanFord(wg, 0); got[0] != 0 {
+	if got := e.MustBellmanFord(wg, 0); got[0] != 0 {
 		t.Fatal("bellman-ford")
 	}
-	if got := e.WidestPath(wg, 0); len(got) == 0 {
+	if got := e.MustWidestPath(wg, 0); len(got) == 0 {
 		t.Fatal("widest")
 	}
-	if got := e.WidestPathBucketed(wg, 0); len(got) == 0 {
+	if got := e.MustWidestPathBucketed(wg, 0); len(got) == 0 {
 		t.Fatal("widest bucketed")
 	}
-	if got := e.Betweenness(g, 0); got[0] != 0 {
+	if got := e.MustBetweenness(g, 0); got[0] != 0 {
 		t.Fatal("betweenness source dependency must be 0")
 	}
-	if got := e.Spanner(g, 4); len(got) == 0 {
+	if got := e.MustSpanner(g, 4); len(got) == 0 {
 		t.Fatal("spanner")
 	}
-	if got := e.LDD(g, 0.2); len(got.Cluster) == 0 {
+	if got := e.MustLDD(g, 0.2); len(got.Cluster) == 0 {
 		t.Fatal("ldd")
 	}
-	if got := e.Connectivity(g); len(got) == 0 {
+	if got := e.MustConnectivity(g); len(got) == 0 {
 		t.Fatal("connectivity")
 	}
-	if got := e.SpanningForest(g); len(got) == 0 {
+	if got := e.MustSpanningForest(g); len(got) == 0 {
 		t.Fatal("forest")
 	}
-	if got := e.Biconnectivity(g); len(got.Label) == 0 {
+	if got := e.MustBiconnectivity(g); len(got.Label) == 0 {
 		t.Fatal("biconnectivity")
 	}
-	if got := e.MIS(g); len(got) == 0 {
+	if got := e.MustMIS(g); len(got) == 0 {
 		t.Fatal("mis")
 	}
-	if got := e.MaximalMatching(g); len(got) == 0 {
+	if got := e.MustMaximalMatching(g); len(got) == 0 {
 		t.Fatal("matching")
 	}
-	if got := e.Coloring(g); len(got) == 0 {
+	if got := e.MustColoring(g); len(got) == 0 {
 		t.Fatal("coloring")
 	}
-	if got := e.KCore(g); len(got) == 0 {
+	if got := e.MustKCore(g); len(got) == 0 {
 		t.Fatal("kcore")
 	}
-	if got := e.ApproxDensestSubgraph(g); got.Density <= 0 {
+	if got := e.MustApproxDensestSubgraph(g); got.Density <= 0 {
 		t.Fatal("densest")
 	}
-	if got := e.TriangleCount(g); got.Count < 0 {
+	if got := e.MustTriangleCount(g); got.Count < 0 {
 		t.Fatal("triangles")
 	}
-	if ranks, iters := e.PageRank(g, 1e-6, 50); len(ranks) == 0 || iters == 0 {
+	if ranks, iters := e.MustPageRank(g, 1e-6, 50); len(ranks) == 0 || iters == 0 {
 		t.Fatal("pagerank")
 	}
 }
@@ -99,15 +99,15 @@ func TestPublicAPICompressedParity(t *testing.T) {
 	}
 	e1 := sage.NewEngine()
 	e2 := sage.NewEngine()
-	a := e1.Connectivity(g)
-	b := e2.Connectivity(cg)
+	a := e1.MustConnectivity(g)
+	b := e2.MustConnectivity(cg)
 	for v := range a {
 		if (a[v] == a[0]) != (b[v] == b[0]) {
 			t.Fatal("compressed connectivity differs")
 		}
 	}
-	t1 := e1.TriangleCount(g).Count
-	t2 := sage.NewEngine(sage.WithFilterBlockSize(64)).TriangleCount(cg).Count
+	t1 := e1.MustTriangleCount(g).Count
+	t2 := sage.NewEngine(sage.WithFilterBlockSize(64)).MustTriangleCount(cg).Count
 	if t1 != t2 {
 		t.Fatalf("triangle counts differ: %d vs %d", t1, t2)
 	}
@@ -127,8 +127,8 @@ func TestPublicAPISaveLoad(t *testing.T) {
 		t.Fatal("round trip mismatch")
 	}
 	e := sage.NewEngine()
-	d1 := e.WBFS(g, 0)
-	d2 := e.WBFS(g2, 0)
+	d1 := e.MustWBFS(g, 0)
+	d2 := e.MustWBFS(g2, 0)
 	for v := range d1 {
 		if d1[v] != d2[v] {
 			t.Fatal("distances differ after reload")
@@ -143,7 +143,7 @@ func TestPublicAPIFromEdges(t *testing.T) {
 	}
 	wg := sage.FromWeightedEdges(3, []sage.WeightedEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 2}})
 	e := sage.NewEngine()
-	d := e.WBFS(wg, 0)
+	d := e.MustWBFS(wg, 0)
 	if d[2] != 7 {
 		t.Fatalf("dist=%d want 7", d[2])
 	}
@@ -157,7 +157,7 @@ func TestEngineModes(t *testing.T) {
 			opts = append(opts, sage.WithCache(g.SizeWords()/4))
 		}
 		e := sage.NewEngine(opts...)
-		labels := e.Connectivity(g)
+		labels := e.MustConnectivity(g)
 		if len(labels) != int(g.NumVertices()) {
 			t.Fatalf("mode %v: bad result", mode)
 		}
@@ -188,7 +188,7 @@ func TestWorkersControl(t *testing.T) {
 	}
 	g := sage.GenerateRMAT(8, 8, 7)
 	e := sage.NewEngine()
-	if got := e.BFS(g, 0); len(got) != int(g.NumVertices()) {
+	if got := e.MustBFS(g, 0); len(got) != int(g.NumVertices()) {
 		t.Fatal("bfs under 2 workers")
 	}
 }
@@ -197,8 +197,8 @@ func TestCostModelOption(t *testing.T) {
 	g := sage.GenerateRMAT(9, 8, 8)
 	e1 := sage.NewEngine(sage.WithCostModel(1, 12))
 	e2 := sage.NewEngine(sage.WithCostModel(3, 12))
-	e1.BFS(g, 0)
-	e2.BFS(g, 0)
+	e1.MustBFS(g, 0)
+	e2.MustBFS(g, 0)
 	if e2.Stats().PSAMCost <= e1.Stats().PSAMCost {
 		t.Fatal("raising the read cost must raise the cost")
 	}
@@ -237,7 +237,7 @@ func TestPublicAPIRelabelByDegree(t *testing.T) {
 	}
 	// Analytics agree across the relabeling.
 	e := sage.NewEngine()
-	if e.TriangleCount(g).Count != e.TriangleCount(h).Count {
+	if e.MustTriangleCount(g).Count != e.MustTriangleCount(h).Count {
 		t.Fatal("triangle count changed under relabeling")
 	}
 }
@@ -245,7 +245,7 @@ func TestPublicAPIRelabelByDegree(t *testing.T) {
 func TestPublicAPILocalCluster(t *testing.T) {
 	g := sage.GeneratePowerLaw(1<<10, 6, 5)
 	e := sage.NewEngine()
-	res := e.LocalCluster(g, 0, 0.85, 100)
+	res := e.MustLocalCluster(g, 0, 0.85, 100)
 	if len(res.Members) == 0 || res.Conductance <= 0 || res.Conductance > 1.01 {
 		t.Fatalf("cluster: %d members, conductance %.3f", len(res.Members), res.Conductance)
 	}
@@ -254,10 +254,10 @@ func TestPublicAPILocalCluster(t *testing.T) {
 func TestPublicAPIExtensions(t *testing.T) {
 	g := sage.GenerateRMAT(9, 8, 11)
 	e := sage.NewEngine()
-	if c3 := e.KCliqueCount(g, 3); c3 != e.TriangleCount(g).Count {
+	if c3 := e.MustKCliqueCount(g, 3); c3 != e.MustTriangleCount(g).Count {
 		t.Fatal("3-cliques != triangles")
 	}
-	ppr, _ := e.PersonalizedPageRank(g, 0, 0.85, 1e-9, 50)
+	ppr, _ := e.MustPersonalizedPageRank(g, 0, 0.85, 1e-9, 50)
 	var mass float64
 	for _, r := range ppr {
 		mass += r
@@ -265,7 +265,7 @@ func TestPublicAPIExtensions(t *testing.T) {
 	if mass < 0.5 || mass > 1.001 {
 		t.Fatalf("ppr mass %.3f", mass)
 	}
-	res := e.KTruss(g)
+	res := e.MustKTruss(g)
 	if len(res.Trussness) == 0 {
 		t.Fatal("empty truss output")
 	}
@@ -278,8 +278,8 @@ func TestPublicAPIWeightedCompression(t *testing.T) {
 		t.Fatal("weights lost in compression")
 	}
 	e := sage.NewEngine()
-	d1 := e.WBFS(g, 0)
-	d2 := e.WBFS(cg, 0)
+	d1 := e.MustWBFS(g, 0)
+	d2 := e.MustWBFS(cg, 0)
 	for v := range d1 {
 		if d1[v] != d2[v] {
 			t.Fatalf("weighted compressed distance differs at %d", v)
