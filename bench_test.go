@@ -309,7 +309,7 @@ func BenchmarkTraversalStrategies(b *testing.B) {
 // BenchmarkWidestPathVariants compares the paper's two widest-path
 // implementations (§4.3.1).
 func BenchmarkWidestPathVariants(b *testing.B) {
-	g := sage.GenerateRMAT(benchScale, 16, 17).WithUniformWeights(5)
+	g := weighted(b, sage.GenerateRMAT(benchScale, 16, 17), 5)
 	b.Run("BellmanFordStyle", func(b *testing.B) {
 		e := sage.NewEngine()
 		for i := 0; i < b.N; i++ {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	sage-bench -exp fig1 -scale 16
-//	sage-bench -exp all  -scale 14
+//	sage-bench -exp all  -scale 14 -cache /tmp/sage-workloads
 //	sage-bench -list
 package main
 
@@ -54,11 +54,19 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list)")
 	scale := flag.Int("scale", 16, "log2 vertices of the R-MAT workload")
 	list := flag.Bool("list", false, "list the experiments and exit")
+	cache := flag.String("cache", "", "workload cache directory: persist the generated graphs through the dataset layer and reopen them memory-mapped on later runs")
 	flag.Parse()
 
 	if *list {
 		listExperiments(os.Stdout)
 		return
+	}
+	if *cache != "" {
+		if err := harness.SetWorkloadCache(*cache); err != nil {
+			fmt.Fprintln(os.Stderr, "cache:", err)
+			os.Exit(1)
+		}
+		defer harness.CloseWorkloadCache()
 	}
 	for _, e := range experiments {
 		if e.ID == *exp {

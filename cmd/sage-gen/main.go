@@ -1,66 +1,150 @@
-// Command sage-gen generates synthetic graphs and writes them in the
-// binary format consumed by sage-run.
+// Command sage-gen generates synthetic graphs and stores them through the
+// sage dataset API, in any registered format (default: the mmap-able v2
+// binary container that sage-run consumes in place).
 //
 // Usage:
 //
 //	sage-gen -kind rmat -logn 18 -deg 16 -out web.sg
 //	sage-gen -kind grid -rows 512 -cols 512 -out road.sg
 //	sage-gen -kind powerlaw -n 100000 -deg 8 -weighted -out social.sg
+//	sage-gen -kind rmat -logn 16 -compress 64 -out web64.sg
+//	sage-gen -kind chain -n 4096 -format adj -out path.adj
+//
+// Graph kinds:
+//
+//	rmat      R-MAT recursive-matrix graph, 2^logn vertices (social/web shape)
+//	er        Erdos-Renyi G(n, m) with m = n*deg/2
+//	powerlaw  preferential attachment with ~deg edges per vertex
+//	grid      rows x cols lattice (-torus to wrap)
+//	star      vertex 0 adjacent to all other n-1 vertices (max degree skew)
+//	chain     path graph on n vertices (max diameter)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strings"
 
-	"sage/internal/gen"
-	"sage/internal/graph"
+	"sage"
 )
 
 func main() {
-	kind := flag.String("kind", "rmat", "generator: rmat|er|powerlaw|grid|star|chain")
-	logn := flag.Int("logn", 16, "log2 vertices (rmat)")
-	n := flag.Uint("n", 1<<16, "vertices (er, powerlaw, star, chain)")
-	deg := flag.Int("deg", 16, "average degree target")
-	rows := flag.Uint("rows", 256, "grid rows")
-	cols := flag.Uint("cols", 256, "grid cols")
+	kind := flag.String("kind", "rmat", "generator: rmat|er|powerlaw|grid|star|chain (see command doc)")
+	logn := flag.Int("logn", 16, "log2 vertices (rmat), in [1, 30]")
+	n := flag.Uint64("n", 1<<16, "vertices (er, powerlaw, star, chain)")
+	deg := flag.Int("deg", 16, "average degree target (rmat, er, powerlaw)")
+	rows := flag.Uint64("rows", 256, "grid rows")
+	cols := flag.Uint64("cols", 256, "grid cols")
 	torus := flag.Bool("torus", false, "wrap the grid")
 	weighted := flag.Bool("weighted", false, "attach uniform weights in [1, log2 n)")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	compressBS := flag.Int("compress", 0, "store byte-compressed with this block size (0 = CSR)")
+	format := flag.String("format", "", "output format (default: by extension, else the v2 binary container)")
 	out := flag.String("out", "", "output path (required)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sage-gen -kind <kind> [options] -out <path>\n\n"+
+			"kinds: rmat (2^logn vertices), er, powerlaw, grid (rows x cols),\n"+
+			"       star (hub 0 + n-1 leaves), chain (path on n vertices)\n"+
+			"formats: %s\n\noptions:\n", strings.Join(sage.Formats(), ", "))
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		os.Exit(2)
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "missing -out")
 		flag.Usage()
 		os.Exit(2)
 	}
-	var g *graph.Graph
+
+	// Validate ranges up front: a nonsensical flag must exit 2, not write a
+	// degenerate (or address-space-sized) graph.
 	switch *kind {
 	case "rmat":
-		g = gen.RMAT(*logn, *deg, *seed)
-	case "er":
-		g = gen.ErdosRenyi(uint32(*n), int(*n)*(*deg)/2, *seed)
-	case "powerlaw":
-		g = gen.PowerLaw(uint32(*n), *deg/2, *seed)
+		if *logn < 1 || *logn > 30 {
+			fail("-logn %d out of range [1, 30]", *logn)
+		}
+	case "er", "powerlaw", "star", "chain":
+		if *n < 1 || *n > math.MaxUint32 {
+			fail("-n %d out of range [1, 2^32)", *n)
+		}
 	case "grid":
-		g = gen.Grid2D(uint32(*rows), uint32(*cols), *torus)
-	case "star":
-		g = gen.Star(uint32(*n))
-	case "chain":
-		g = gen.Chain(uint32(*n))
+		if *rows < 1 || *cols < 1 || *rows > math.MaxUint32 || *cols > math.MaxUint32 ||
+			*rows**cols > math.MaxUint32 {
+			fail("-rows %d x -cols %d out of range: need rows, cols >= 1 and rows*cols < 2^32", *rows, *cols)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
-		os.Exit(2)
+		fail("unknown kind %q (want rmat|er|powerlaw|grid|star|chain)", *kind)
+	}
+	switch *kind {
+	case "rmat", "er", "powerlaw":
+		if *deg < 1 {
+			fail("-deg %d out of range: need >= 1", *deg)
+		}
+		vertices := uint64(1) << *logn
+		if *kind != "rmat" {
+			vertices = *n
+		}
+		if uint64(*deg) >= vertices {
+			fail("-deg %d out of range: must be below the vertex count %d", *deg, vertices)
+		}
+		// Cap the total edge volume, not just each factor: n and deg can
+		// each be in range while n*deg is an address-space-sized request.
+		// (No int64 overflow: vertices < 2^32 and deg < 2^31.)
+		if vertices*uint64(*deg) > 1<<32 {
+			fail("vertex count %d x -deg %d targets %d arcs, beyond the 2^32 cap",
+				vertices, *deg, vertices*uint64(*deg))
+		}
+	}
+	if *compressBS < 0 || *compressBS > 1<<20 {
+		fail("-compress %d out of range [0, 2^20]", *compressBS)
+	}
+
+	var g *sage.Graph
+	switch *kind {
+	case "rmat":
+		g = sage.GenerateRMAT(*logn, *deg, *seed)
+	case "er":
+		g = sage.GenerateErdosRenyi(uint32(*n), int(*n)*(*deg)/2, *seed)
+	case "powerlaw":
+		g = sage.GeneratePowerLaw(uint32(*n), *deg/2, *seed)
+	case "grid":
+		g = sage.GenerateGrid(uint32(*rows), uint32(*cols), *torus)
+	case "star":
+		g = sage.GenerateStar(uint32(*n))
+	case "chain":
+		g = sage.GenerateChain(uint32(*n))
 	}
 	if *weighted {
-		g = gen.AddUniformWeights(g, *seed+1)
+		wg, err := g.WithUniformWeights(*seed + 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weight:", err)
+			os.Exit(1)
+		}
+		g = wg
 	}
-	if err := g.SaveFile(*out); err != nil {
+	if *compressBS > 0 {
+		g = g.Compress(*compressBS)
+	}
+
+	var opts []sage.SaveOption
+	if *format != "" {
+		opts = append(opts, sage.As(*format))
+	}
+	if err := sage.Create(*out, g, opts...); err != nil {
 		fmt.Fprintln(os.Stderr, "save:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s: n=%d m=%d davg=%.1f weighted=%v\n",
+	kindTag := "csr"
+	if g.Compressed() {
+		kindTag = fmt.Sprintf("compressed(bs=%d)", *compressBS)
+	}
+	fmt.Printf("wrote %s: n=%d m=%d davg=%.1f weighted=%v repr=%s\n",
 		*out, g.NumVertices(), g.NumEdges(),
-		float64(g.NumEdges())/float64(g.NumVertices()), g.Weighted())
+		float64(g.NumEdges())/float64(max(g.NumVertices(), 1)), g.Weighted(), kindTag)
 }

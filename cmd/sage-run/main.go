@@ -7,12 +7,19 @@
 // interrupt (Ctrl-C) cancels the run mid-algorithm through the engine's
 // context support.
 //
+// Graphs are opened through the sage dataset API: the storage format is
+// sniffed from the file (override with -format; -formats lists the
+// registry), and binary containers are memory-mapped so the adjacency
+// arrays are consumed in place from the file — pass -copy to load into
+// private heap memory instead.
+//
 // Usage:
 //
 //	sage-run -list
+//	sage-run -formats
 //	sage-run -graph web.sg -algo bfs -src 0
-//	sage-run -graph web.sg -algo kcore -mode memorymode
-//	sage-run -graph social.sg -algo pagerank -maxiters 50
+//	sage-run -graph web.sg -algo kcore -mode memorymode -copy
+//	sage-run -graph social.adj -algo pagerank -maxiters 50
 package main
 
 import (
@@ -49,12 +56,15 @@ func listAlgorithms(w *os.File) {
 }
 
 func main() {
-	path := flag.String("graph", "", "binary graph path (from sage-gen)")
+	path := flag.String("graph", "", "graph path (any registered format; see -formats)")
 	algo := flag.String("algo", "bfs", "algorithm name from the registry (see -list)")
 	list := flag.Bool("list", false, "list the algorithm registry and exit")
+	listFormats := flag.Bool("formats", false, "list the storage format registry and exit")
+	formatName := flag.String("format", "", "override storage-format sniffing (see -formats)")
+	copyGraph := flag.Bool("copy", false, "load into private heap memory instead of memory-mapping")
 	modeName := flag.String("mode", "appdirect", "dram|appdirect|memorymode|nvramall")
 	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse")
-	compressBS := flag.Int("compress", 0, "compress the graph with this block size (0 = uncompressed)")
+	compressBS := flag.Int("compress", 0, "re-compress the graph in memory with this block size (0 = keep stored representation)")
 
 	src := flag.Uint("src", 0, "source vertex for rooted algorithms")
 	k := flag.Int("k", 0, "k parameter (spanner stretch, clique size; 0 = algorithm default)")
@@ -70,16 +80,31 @@ func main() {
 		listAlgorithms(os.Stdout)
 		return
 	}
+	if *listFormats {
+		fmt.Println("registered storage formats:")
+		for _, line := range sage.FormatDescriptions() {
+			fmt.Println(" ", line)
+		}
+		return
+	}
 	if *path == "" {
 		fmt.Fprintln(os.Stderr, "missing -graph")
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := sage.Load(*path)
+	var openOpts []sage.OpenOption
+	if *formatName != "" {
+		openOpts = append(openOpts, sage.WithFormat(*formatName))
+	}
+	if *copyGraph {
+		openOpts = append(openOpts, sage.WithCopy())
+	}
+	g, err := sage.Open(*path, openOpts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "load:", err)
+		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
 	}
+	defer g.Close()
 	if *compressBS > 0 {
 		g = g.Compress(*compressBS)
 	}
@@ -151,7 +176,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("%s on n=%d m=%d [%s, %s]\n", *algo, g.NumVertices(), g.NumEdges(), *modeName, *strategyName)
+	storage := "heap copy"
+	if g.Mapped() {
+		storage = "mmap (zero-copy)"
+	}
+	fmt.Printf("%s on n=%d m=%d [%s, %s, %s]\n",
+		*algo, g.NumVertices(), g.NumEdges(), *modeName, *strategyName, storage)
 	fmt.Println(" ", res.Summary)
 	fmt.Println("  time:", elapsed.Round(time.Microsecond))
 	fmt.Println("  run stats:", res.Stats)

@@ -17,7 +17,7 @@ import (
 // must equal the sum of the per-run stats (max for the DRAM peak).
 func TestConcurrentRunsAggregate(t *testing.T) {
 	g := sage.GenerateRMAT(11, 8, 3)
-	wg := g.WithUniformWeights(5)
+	wg := weighted(t, g, 5)
 	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
 
 	type result struct {
@@ -231,7 +231,7 @@ func TestAlgorithmRegistry(t *testing.T) {
 		t.Fatalf("registry lists %d algorithms, want >= 24", len(list))
 	}
 	g := sage.GenerateRMAT(9, 8, 31)
-	wg := g.WithUniformWeights(7)
+	wg := weighted(t, g, 7)
 	// A tiny bipartite set-cover instance: sets {0,1} cover elements
 	// {2,3,4} (vertices >= numSets are elements).
 	sc := sage.FromEdges(5, []sage.Edge{{U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 3}, {U: 1, V: 4}})

@@ -311,7 +311,7 @@ func must(err error) {
 
 // BFS returns a BFS parent array from src (Figure 4; Theorem 4.2).
 func (r *Run) BFS(ctx context.Context, g *Graph, src uint32) ([]uint32, error) {
-	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.BFS(g.adj, o, src) })
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.BFS(g.use(), o, src) })
 }
 
 // BFS returns a BFS parent array from src (Figure 4; Theorem 4.2).
@@ -331,7 +331,7 @@ func (e *Engine) MustBFS(g *Graph, src uint32) []uint32 {
 // WBFS returns integral-weight shortest-path distances from src via
 // bucketing (Julienne-style wBFS).
 func (r *Run) WBFS(ctx context.Context, g *Graph, src uint32) ([]uint32, error) {
-	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.WBFS(g.adj, o, src) })
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.WBFS(g.use(), o, src) })
 }
 
 // WBFS returns integral-weight shortest-path distances from src.
@@ -350,7 +350,7 @@ func (e *Engine) MustWBFS(g *Graph, src uint32) []uint32 {
 
 // BellmanFord returns general-weight shortest-path distances from src.
 func (r *Run) BellmanFord(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
-	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.BellmanFord(g.adj, o, src) })
+	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.BellmanFord(g.use(), o, src) })
 }
 
 // BellmanFord returns general-weight shortest-path distances from src.
@@ -369,7 +369,7 @@ func (e *Engine) MustBellmanFord(g *Graph, src uint32) []int64 {
 
 // WidestPath returns single-source widest-path widths from src.
 func (r *Run) WidestPath(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
-	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.WidestPath(g.adj, o, src) })
+	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.WidestPath(g.use(), o, src) })
 }
 
 // WidestPath returns single-source widest-path widths from src.
@@ -388,7 +388,7 @@ func (e *Engine) MustWidestPath(g *Graph, src uint32) []int64 {
 
 // WidestPathBucketed is the bucketing-based widest-path variant.
 func (r *Run) WidestPathBucketed(ctx context.Context, g *Graph, src uint32) ([]int64, error) {
-	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.WidestPathBucketed(g.adj, o, src) })
+	return capture(r, ctx, func(o *algos.Options) []int64 { return algos.WidestPathBucketed(g.use(), o, src) })
 }
 
 // WidestPathBucketed is the bucketing-based widest-path variant.
@@ -407,7 +407,7 @@ func (e *Engine) MustWidestPathBucketed(g *Graph, src uint32) []int64 {
 
 // Betweenness returns single-source betweenness dependencies from src.
 func (r *Run) Betweenness(ctx context.Context, g *Graph, src uint32) ([]float64, error) {
-	return capture(r, ctx, func(o *algos.Options) []float64 { return algos.Betweenness(g.adj, o, src) })
+	return capture(r, ctx, func(o *algos.Options) []float64 { return algos.Betweenness(g.use(), o, src) })
 }
 
 // Betweenness returns single-source betweenness dependencies from src.
@@ -426,7 +426,7 @@ func (e *Engine) MustBetweenness(g *Graph, src uint32) []float64 {
 
 // Spanner returns the edges of an O(k)-spanner (k=0 selects ⌈log₂ n⌉).
 func (r *Run) Spanner(ctx context.Context, g *Graph, k int) ([]Edge, error) {
-	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.Spanner(g.adj, o, k) })
+	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.Spanner(g.use(), o, k) })
 }
 
 // Spanner returns the edges of an O(k)-spanner (k=0 selects ⌈log₂ n⌉).
@@ -445,7 +445,7 @@ func (e *Engine) MustSpanner(g *Graph, k int) []Edge {
 
 // LDD returns a low-diameter decomposition with parameter beta.
 func (r *Run) LDD(ctx context.Context, g *Graph, beta float64) (*algos.LDDResult, error) {
-	return capture(r, ctx, func(o *algos.Options) *algos.LDDResult { return algos.LDD(g.adj, o, beta, o.Seed) })
+	return capture(r, ctx, func(o *algos.Options) *algos.LDDResult { return algos.LDD(g.use(), o, beta, o.Seed) })
 }
 
 // LDD returns a low-diameter decomposition with parameter beta.
@@ -464,7 +464,7 @@ func (e *Engine) MustLDD(g *Graph, beta float64) *algos.LDDResult {
 
 // Connectivity returns connected-component labels.
 func (r *Run) Connectivity(ctx context.Context, g *Graph) ([]uint32, error) {
-	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.Connectivity(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.Connectivity(g.use(), o) })
 }
 
 // Connectivity returns connected-component labels.
@@ -483,7 +483,7 @@ func (e *Engine) MustConnectivity(g *Graph) []uint32 {
 
 // SpanningForest returns the edges of a spanning forest.
 func (r *Run) SpanningForest(ctx context.Context, g *Graph) ([]Edge, error) {
-	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.SpanningForest(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.SpanningForest(g.use(), o) })
 }
 
 // SpanningForest returns the edges of a spanning forest.
@@ -502,7 +502,7 @@ func (e *Engine) MustSpanningForest(g *Graph) []Edge {
 
 // Biconnectivity returns the biconnected-component labeling.
 func (r *Run) Biconnectivity(ctx context.Context, g *Graph) (*algos.BiconnResult, error) {
-	return capture(r, ctx, func(o *algos.Options) *algos.BiconnResult { return algos.Biconnectivity(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) *algos.BiconnResult { return algos.Biconnectivity(g.use(), o) })
 }
 
 // Biconnectivity returns the biconnected-component labeling.
@@ -521,7 +521,7 @@ func (e *Engine) MustBiconnectivity(g *Graph) *algos.BiconnResult {
 
 // MIS returns a maximal independent set (deterministic in the seed).
 func (r *Run) MIS(ctx context.Context, g *Graph) ([]bool, error) {
-	return capture(r, ctx, func(o *algos.Options) []bool { return algos.MIS(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) []bool { return algos.MIS(g.use(), o) })
 }
 
 // MIS returns a maximal independent set (deterministic in the seed).
@@ -540,7 +540,7 @@ func (e *Engine) MustMIS(g *Graph) []bool {
 
 // MaximalMatching returns a maximal matching.
 func (r *Run) MaximalMatching(ctx context.Context, g *Graph) ([]Edge, error) {
-	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.MaximalMatching(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) []Edge { return algos.MaximalMatching(g.use(), o) })
 }
 
 // MaximalMatching returns a maximal matching.
@@ -559,7 +559,7 @@ func (e *Engine) MustMaximalMatching(g *Graph) []Edge {
 
 // Coloring returns a (Δ+1)-coloring.
 func (r *Run) Coloring(ctx context.Context, g *Graph) ([]uint32, error) {
-	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.Coloring(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.Coloring(g.use(), o) })
 }
 
 // Coloring returns a (Δ+1)-coloring.
@@ -579,7 +579,7 @@ func (e *Engine) MustColoring(g *Graph) []uint32 {
 // ApproxSetCover solves the bipartite set-cover instance (sets are
 // vertices [0, numSets)); see algos.BipartiteFromSets for the layout.
 func (r *Run) ApproxSetCover(ctx context.Context, g *Graph, numSets uint32) ([]uint32, error) {
-	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.ApproxSetCover(g.adj, o, numSets) })
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.ApproxSetCover(g.use(), o, numSets) })
 }
 
 // ApproxSetCover solves the bipartite set-cover instance.
@@ -598,7 +598,7 @@ func (e *Engine) MustApproxSetCover(g *Graph, numSets uint32) []uint32 {
 
 // KCore returns the coreness of every vertex.
 func (r *Run) KCore(ctx context.Context, g *Graph) ([]uint32, error) {
-	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.KCore(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) []uint32 { return algos.KCore(g.use(), o) })
 }
 
 // KCore returns the coreness of every vertex.
@@ -617,7 +617,7 @@ func (e *Engine) MustKCore(g *Graph) []uint32 {
 
 // ApproxDensestSubgraph returns a 2(1+ε)-approximate densest subgraph.
 func (r *Run) ApproxDensestSubgraph(ctx context.Context, g *Graph) (*algos.DensestResult, error) {
-	return capture(r, ctx, func(o *algos.Options) *algos.DensestResult { return algos.ApproxDensestSubgraph(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) *algos.DensestResult { return algos.ApproxDensestSubgraph(g.use(), o) })
 }
 
 // ApproxDensestSubgraph returns a 2(1+ε)-approximate densest subgraph.
@@ -637,7 +637,7 @@ func (e *Engine) MustApproxDensestSubgraph(g *Graph) *algos.DensestResult {
 
 // TriangleCount returns the triangle count with its work counters.
 func (r *Run) TriangleCount(ctx context.Context, g *Graph) (*algos.TriangleResult, error) {
-	return capture(r, ctx, func(o *algos.Options) *algos.TriangleResult { return algos.TriangleCount(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) *algos.TriangleResult { return algos.TriangleCount(g.use(), o) })
 }
 
 // TriangleCount returns the triangle count with its work counters.
@@ -662,7 +662,7 @@ func (r *Run) PageRank(ctx context.Context, g *Graph, eps float64, maxIters int)
 		iters int
 	}
 	res, err := capture(r, ctx, func(o *algos.Options) pr {
-		ranks, iters := algos.PageRank(g.adj, o, eps, maxIters)
+		ranks, iters := algos.PageRank(g.use(), o, eps, maxIters)
 		return pr{ranks, iters}
 	})
 	return res.ranks, res.iters, err
@@ -686,7 +686,7 @@ func (e *Engine) MustPageRank(g *Graph, eps float64, maxIters int) ([]float64, i
 // PageRankIter runs one PageRank iteration (prev -> next), returning the
 // L1 change.
 func (r *Run) PageRankIter(ctx context.Context, g *Graph, prev, next []float64) (float64, error) {
-	return capture(r, ctx, func(o *algos.Options) float64 { return algos.PageRankIter(g.adj, o, prev, next) })
+	return capture(r, ctx, func(o *algos.Options) float64 { return algos.PageRankIter(g.use(), o, prev, next) })
 }
 
 // PageRankIter runs one PageRank iteration (prev -> next), returning the
@@ -707,7 +707,7 @@ func (e *Engine) MustPageRankIter(g *Graph, prev, next []float64) float64 {
 // KCliqueCount counts k-cliques (k >= 3) via recursive intersection over
 // the filter-oriented DAG — the PSAM extension the paper's §3.2 proposes.
 func (r *Run) KCliqueCount(ctx context.Context, g *Graph, k int) (int64, error) {
-	return capture(r, ctx, func(o *algos.Options) int64 { return algos.KCliqueCount(g.adj, o, k) })
+	return capture(r, ctx, func(o *algos.Options) int64 { return algos.KCliqueCount(g.use(), o, k) })
 }
 
 // KCliqueCount counts k-cliques (k >= 3).
@@ -733,7 +733,7 @@ func (r *Run) PersonalizedPageRank(ctx context.Context, g *Graph, src uint32, da
 		iters int
 	}
 	res, err := capture(r, ctx, func(o *algos.Options) pr {
-		ranks, iters := algos.PersonalizedPageRank(g.adj, o, src, damping, eps, maxIters)
+		ranks, iters := algos.PersonalizedPageRank(g.use(), o, src, damping, eps, maxIters)
 		return pr{ranks, iters}
 	})
 	return res.ranks, res.iters, err
@@ -758,7 +758,7 @@ func (e *Engine) MustPersonalizedPageRank(g *Graph, src uint32, damping, eps flo
 // the paper draws (§3.2): the Θ(m)-word output forces Θ(m) small-memory
 // state, which Stats().PeakDRAMWords will reflect.
 func (r *Run) KTruss(ctx context.Context, g *Graph) (*algos.KTrussResult, error) {
-	return capture(r, ctx, func(o *algos.Options) *algos.KTrussResult { return algos.KTruss(g.adj, o) })
+	return capture(r, ctx, func(o *algos.Options) *algos.KTrussResult { return algos.KTruss(g.use(), o) })
 }
 
 // KTruss computes the trussness of every edge.
@@ -779,7 +779,7 @@ func (e *Engine) MustKTruss(g *Graph) *algos.KTrussResult {
 // personalized-PageRank sweep cut (a §3.2 local-clustering problem).
 func (r *Run) LocalCluster(ctx context.Context, g *Graph, seed uint32, damping float64, maxSize int) (*algos.LocalClusterResult, error) {
 	return capture(r, ctx, func(o *algos.Options) *algos.LocalClusterResult {
-		return algos.LocalCluster(g.adj, o, seed, damping, maxSize)
+		return algos.LocalCluster(g.use(), o, seed, damping, maxSize)
 	})
 }
 

@@ -11,7 +11,10 @@ import (
 )
 
 func main() {
-	g := sage.GenerateGrid(256, 256, false).WithUniformWeights(11)
+	g, err := sage.GenerateGrid(256, 256, false).WithUniformWeights(11)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("road network: n=%d, m=%d (256x256 grid, weights in [1, %d))\n",
 		g.NumVertices(), g.NumEdges(), log2(g.NumVertices()))
 

@@ -1,0 +1,97 @@
+package compress
+
+// (De)serialization support for the byte-compressed representation: the
+// CGraph's three flat arrays (degrees, per-vertex byte offsets, encoded
+// block data) map one-to-one onto v2 container sections, so a compressed
+// graph persists without re-encoding and — because every array is flat —
+// reopens as views over a memory mapping, exactly like the CSR arrays.
+
+import (
+	"fmt"
+
+	"sage/internal/graph"
+)
+
+// Degrees exposes the per-vertex degree array (read-only; len n).
+func (c *CGraph) Degrees() []uint32 { return c.degrees }
+
+// VtxOff exposes the per-vertex byte-offset array into Data (read-only;
+// len n+1).
+func (c *CGraph) VtxOff() []uint64 { return c.vtxOff }
+
+// Data exposes the encoded block data (read-only).
+func (c *CGraph) Data() []byte { return c.data }
+
+// Sections returns the container sections serializing c (header plus the
+// three compressed arrays), streaming from the graph's own storage.
+func (c *CGraph) Sections() []graph.Section {
+	h := graph.Header{N: c.n, M: c.m, Flags: graph.FlagCompressed, BlockSize: c.blockSize}
+	if c.weighted {
+		h.Flags |= graph.FlagWeighted
+	}
+	return []graph.Section{
+		graph.HeaderSection(h),
+		graph.Uint32Section(graph.SecCDegrees, c.degrees),
+		graph.Uint64Section(graph.SecCVtxOff, c.vtxOff),
+		graph.BytesSection(graph.SecCData, c.data),
+	}
+}
+
+// FromParts assembles a CGraph from pre-built arrays (typically views over
+// an arena), validating the structural invariants the decoder indexes by:
+// array lengths match n, vtxOff is monotone and ends at len(data), degrees
+// sum to m, and the block size is positive. Encoded block content is not
+// re-walked — like the CSR loader, per-edge validation would fault in the
+// whole mapping.
+func FromParts(n uint32, m uint64, blockSize uint32, weighted bool,
+	degrees []uint32, vtxOff []uint64, data []byte) (*CGraph, error) {
+	if blockSize == 0 {
+		return nil, fmt.Errorf("compress: zero block size")
+	}
+	if uint64(len(degrees)) != uint64(n) {
+		return nil, fmt.Errorf("compress: %d degrees for n=%d", len(degrees), n)
+	}
+	if uint64(len(vtxOff)) != uint64(n)+1 {
+		return nil, fmt.Errorf("compress: %d vertex offsets for n=%d", len(vtxOff), n)
+	}
+	if vtxOff[n] != uint64(len(data)) {
+		return nil, fmt.Errorf("compress: vertex offsets end %d != data length %d",
+			vtxOff[n], len(data))
+	}
+	var sum uint64
+	for v := uint32(0); v < n; v++ {
+		if vtxOff[v] > vtxOff[v+1] {
+			return nil, fmt.Errorf("compress: vertex offsets not monotone at %d", v)
+		}
+		sum += uint64(degrees[v])
+	}
+	if sum != m {
+		return nil, fmt.Errorf("compress: degrees sum %d != m %d", sum, m)
+	}
+	return &CGraph{n: n, m: m, blockSize: blockSize, weighted: weighted,
+		degrees: degrees, vtxOff: vtxOff, data: data}, nil
+}
+
+// CGraphFromSections assembles a CGraph from parsed container sections.
+// With forceCopy false (on a little-endian host) the arrays alias the
+// section bytes.
+func CGraphFromSections(secs map[uint64][]byte, h graph.Header, forceCopy bool) (*CGraph, error) {
+	db, vb := secs[graph.SecCDegrees], secs[graph.SecCVtxOff]
+	if uint64(len(db)) != 4*uint64(h.N) {
+		return nil, fmt.Errorf("compress: degrees section is %d bytes, want %d for n=%d",
+			len(db), 4*uint64(h.N), h.N)
+	}
+	if uint64(len(vb)) != 8*(uint64(h.N)+1) {
+		return nil, fmt.Errorf("compress: vertex-offset section is %d bytes, want %d for n=%d",
+			len(vb), 8*(uint64(h.N)+1), h.N)
+	}
+	data, ok := secs[graph.SecCData]
+	if !ok {
+		return nil, fmt.Errorf("compress: missing data section")
+	}
+	if forceCopy {
+		data = append([]byte(nil), data...)
+	}
+	return FromParts(h.N, h.M, h.BlockSize, h.Weighted(),
+		graph.Uint32sLE(db, forceCopy), graph.Uint64sLE(vb, forceCopy), data)
+}

@@ -1,0 +1,172 @@
+package graph
+
+// An Arena is a read-only byte region backing a stored graph. On platforms
+// with mmap it is a page-aligned, read-only memory mapping of the file —
+// the literal rendering of Sage's App-Direct configuration, where the graph
+// is a read-only structure consumed in place on NVRAM (§2): the offsets,
+// edges, and weights slices handed to the traversal layer alias the mapping
+// directly and no byte of graph data is ever copied into the heap. Where
+// mmap is unavailable (or the caller asks for a private copy) the arena is
+// an 8-byte-aligned heap buffer filled by a single read.
+//
+// Arenas are immutable after creation; Close releases the mapping (or the
+// buffer) exactly once. Any slice aliased out of a mapped arena becomes
+// invalid at Close — the owning Dataset ties graph lifetime to arena
+// lifetime for exactly this reason.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether typed views can alias little-endian file
+// bytes directly. On big-endian hosts every view decodes into a heap copy.
+var hostLittleEndian = func() bool {
+	var buf [2]byte
+	binary.NativeEndian.PutUint16(buf[:], 1)
+	return buf[0] == 1
+}()
+
+// Arena is a read-only byte region, either a memory mapping of a file or an
+// aligned heap buffer. The zero value is not meaningful; use OpenArena or
+// NewHeapArena.
+type Arena struct {
+	data   []byte
+	mapped bool // data came from mmap and must be munmapped
+	closed atomic.Bool
+}
+
+// OpenArena opens path as a read-only arena. When copy is false and the
+// platform supports it, the file is memory-mapped; otherwise the contents
+// are read into an 8-byte-aligned heap buffer.
+func OpenArena(path string, copy bool) (*Arena, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Arena{data: nil}, nil
+	}
+	if !copy && mmapSupported {
+		data, err := mmapFile(f, size)
+		if err == nil {
+			return &Arena{data: data, mapped: true}, nil
+		}
+		// Fall through to the heap path on mapping failure (e.g. a
+		// filesystem without mmap support).
+	}
+	data := alignedBytes(size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, fmt.Errorf("graph: reading %s: %w", path, err)
+	}
+	return &Arena{data: data}, nil
+}
+
+// NewHeapArena wraps an in-memory buffer as an arena (used by tests and by
+// readers that already hold the bytes). The buffer should be 8-byte aligned
+// if typed views will be taken; misaligned views fall back to copying.
+func NewHeapArena(data []byte) *Arena { return &Arena{data: data} }
+
+// Bytes returns the full region. The slice is read-only: for mapped arenas
+// the pages are mapped PROT_READ and writing through it faults.
+func (a *Arena) Bytes() []byte { return a.data }
+
+// Mapped reports whether the arena is a live memory mapping (as opposed to
+// a private heap copy).
+func (a *Arena) Mapped() bool { return a.mapped }
+
+// Close releases the mapping or buffer. Closing twice is an error; using
+// slices aliased from a mapped arena after Close faults.
+func (a *Arena) Close() error {
+	if a.closed.Swap(true) {
+		return fmt.Errorf("graph: arena already closed")
+	}
+	data := a.data
+	a.data = nil
+	if a.mapped {
+		return munmap(data)
+	}
+	return nil
+}
+
+// alignedBytes allocates a byte slice of the given length whose base
+// address is 8-byte aligned, so typed views can alias it like a mapping.
+// (A plain make([]byte) only guarantees byte alignment.)
+func alignedBytes(n int64) []byte {
+	words := make([]uint64, (n+7)/8)
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), n)
+}
+
+// aligned8 reports whether b's base address permits 8-byte typed views.
+func aligned8(b []byte) bool {
+	if len(b) == 0 {
+		return true
+	}
+	return uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// Uint64sLE views b (little-endian uint64 data, len(b) = 8k) as a []uint64.
+// On little-endian hosts with aligned input the view aliases b with no
+// copy; otherwise it decodes into a fresh slice. forceCopy requests the
+// decoded form regardless (the WithCopy open path).
+func Uint64sLE(b []byte, forceCopy bool) []uint64 {
+	k := len(b) / 8
+	if k == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned8(b) && !forceCopy {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), k)
+	}
+	out := make([]uint64, k)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// Uint32sLE views b (little-endian uint32 data) as a []uint32; see
+// Uint64sLE for the aliasing rules.
+func Uint32sLE(b []byte, forceCopy bool) []uint32 {
+	k := len(b) / 4
+	if k == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned8(b) && !forceCopy {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), k)
+	}
+	out := make([]uint32, k)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// Int32sLE views b (little-endian int32 data) as a []int32; see Uint64sLE
+// for the aliasing rules.
+func Int32sLE(b []byte, forceCopy bool) []int32 {
+	k := len(b) / 4
+	if k == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned8(b) && !forceCopy {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), k)
+	}
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps [0, size) of f read-only and shared. The kernel pages the
+// file in on demand, so opening a larger-than-DRAM graph costs no resident
+// memory up front — the semi-external property the dataset layer is built
+// around.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,15 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package graph
+
+import "os"
+
+const mmapSupported = false
+
+// mmapFile is never called when mmapSupported is false; OpenArena takes the
+// aligned heap-copy path instead.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	panic("graph: mmap not supported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

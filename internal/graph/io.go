@@ -5,15 +5,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 )
 
-// Binary serialization of CSR graphs. The format is a little-endian header
+// Legacy (v1) binary serialization of CSR graphs: a little-endian header
 // (magic, flags, n, m) followed by the offsets, edges, and (if weighted)
-// weights arrays. It is the on-"NVRAM" storage format that cmd/sage-gen
-// produces and cmd/sage-run and cmd/sage-bench consume.
+// weights arrays. New files are written in the v2 section container
+// (format.go); this reader is kept so existing datasets keep loading, and
+// the format registry sniffs its magic.
 
-const binaryMagic = uint64(0x5341474547525048) // "SAGEGRPH"
+// MagicV1 identifies the legacy flat binary format ("SAGEGRPH").
+const MagicV1 = uint64(0x5341474547525048)
+
+const binaryMagic = MagicV1
 
 const flagWeighted = uint64(1)
 
@@ -44,8 +49,13 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// ReadBinary deserializes a graph written by WriteBinary. Before any
+// array allocation the declared n and m are validated against the number
+// of input bytes actually remaining (discoverable for files and in-memory
+// readers), so a corrupt or truncated header yields an error instead of a
+// multi-gigabyte allocation attempt.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	remaining, sized := remainingSize(r)
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [4]uint64
 	for i := range hdr {
@@ -56,7 +66,27 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if hdr[0] != binaryMagic {
 		return nil, fmt.Errorf("bad magic %#x", hdr[0])
 	}
+	if hdr[2] > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds uint32", hdr[2])
+	}
 	flags, n, m := hdr[1], uint32(hdr[2]), hdr[3]
+	if flags&^flagWeighted != 0 {
+		return nil, fmt.Errorf("graph: unknown flags %#x", flags)
+	}
+	// Payload size in bytes; every term is bounded (n < 2^32 so the
+	// offsets term is < 2^36, and m < 2^59 caps the edge+weight terms at
+	// 2^62) so the sum cannot overflow int64.
+	if m > math.MaxInt64/16 {
+		return nil, fmt.Errorf("graph: implausible edge count %d", m)
+	}
+	need := 8*(int64(n)+1) + 4*int64(m)
+	if flags&flagWeighted != 0 {
+		need += 4 * int64(m)
+	}
+	if sized && need > remaining-32 {
+		return nil, fmt.Errorf("graph: header claims n=%d m=%d (%d payload bytes) but only %d bytes follow",
+			n, m, need, remaining-32)
+	}
 	g := &Graph{n: n, m: m}
 	g.offsets = make([]uint64, n+1)
 	if err := readUint64s(br, g.offsets); err != nil {
@@ -96,6 +126,32 @@ func LoadFile(path string) (*Graph, error) {
 	}
 	defer f.Close()
 	return ReadBinary(f)
+}
+
+// remainingSize reports how many bytes remain in r when that is
+// discoverable without consuming input: seekable readers (files) and
+// in-memory readers exposing Len. Unknown sizes return sized=false and
+// skip the pre-allocation check (truncation still surfaces as an
+// io.ErrUnexpectedEOF from the array reads).
+func remainingSize(r io.Reader) (int64, bool) {
+	switch v := r.(type) {
+	case io.Seeker:
+		cur, err := v.Seek(0, io.SeekCurrent)
+		if err != nil {
+			return 0, false
+		}
+		end, err := v.Seek(0, io.SeekEnd)
+		if err != nil {
+			return 0, false
+		}
+		if _, err := v.Seek(cur, io.SeekStart); err != nil {
+			return 0, false
+		}
+		return end - cur, true
+	case interface{ Len() int }:
+		return int64(v.Len()), true
+	}
+	return 0, false
 }
 
 const ioChunk = 1 << 16

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// validBinary serializes a small graph to bytes.
+func validBinary(t *testing.T) []byte {
+	t.Helper()
+	g := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, BuildOpts{Symmetrize: true})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadBinaryRejectsOversizedHeader corrupts n and m to values far
+// beyond the actual payload: the reader must fail before attempting the
+// corresponding allocations.
+func TestReadBinaryRejectsOversizedHeader(t *testing.T) {
+	base := validBinary(t)
+	cases := map[string]func(b []byte){
+		// n at header word 2: claims 2^31 vertices in a 100-byte file.
+		"huge-n": func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<31) },
+		// m at header word 3: claims 2^40 edges.
+		"huge-m": func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 1<<40) },
+		// n beyond uint32 entirely.
+		"n-overflow": func(b []byte) { binary.LittleEndian.PutUint64(b[16:], 1<<40) },
+		// m so large the byte-size computation would overflow int64.
+		"m-overflow": func(b []byte) { binary.LittleEndian.PutUint64(b[24:], 1<<62) },
+		// m sized so that only the weighted branch (8 bytes/edge) would
+		// overflow the size computation — the guard must still hold.
+		"m-weighted-overflow": func(b []byte) {
+			binary.LittleEndian.PutUint64(b[8:], 1) // weighted flag
+			binary.LittleEndian.PutUint64(b[24:], (1<<63-1)/8)
+		},
+		// unknown flag bits must not be silently ignored.
+		"bad-flags": func(b []byte) { binary.LittleEndian.PutUint64(b[8:], 0xfe) },
+	}
+	for name, corrupt := range cases {
+		b := append([]byte(nil), base...)
+		corrupt(b)
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: corrupt header accepted", name)
+		}
+	}
+}
+
+// TestReadBinaryTruncated drops trailing bytes; both the sized check and
+// the unsized io path must report an error.
+func TestReadBinaryTruncated(t *testing.T) {
+	base := validBinary(t)
+	for _, cut := range []int{1, 8, len(base) / 2, len(base) - 33} {
+		b := base[:len(base)-cut]
+		if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+			t.Errorf("truncation by %d accepted", cut)
+		}
+		// And through a non-seekable reader (no size hint).
+		if _, err := ReadBinary(onlyReader{bytes.NewReader(b)}); err == nil {
+			t.Errorf("truncation by %d accepted via plain reader", cut)
+		}
+	}
+}
+
+// onlyReader hides Seek/Len so ReadBinary cannot discover the size.
+type onlyReader struct{ r *bytes.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// TestContainerMalformed covers the v2 framing validation.
+func TestContainerMalformed(t *testing.T) {
+	g := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}, BuildOpts{Symmetrize: true})
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, g.Sections()); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+
+	if _, err := ParseContainer(base[:10]); err == nil {
+		t.Error("short container accepted")
+	}
+	b := append([]byte(nil), base...)
+	b[0] ^= 0xff
+	if _, err := ParseContainer(b); err == nil {
+		t.Error("bad magic accepted")
+	}
+	b = append([]byte(nil), base...)
+	binary.LittleEndian.PutUint64(b[8:], 1<<20) // implausible section count
+	if _, err := ParseContainer(b); err == nil {
+		t.Error("huge section count accepted")
+	}
+	b = append([]byte(nil), base...)
+	binary.LittleEndian.PutUint64(b[16+8:], uint64(len(b))) // first section offset at EOF
+	if _, err := ParseContainer(b); err == nil || !strings.Contains(err.Error(), "outside file") {
+		t.Errorf("out-of-bounds section: %v", err)
+	}
+	b = append([]byte(nil), base...)
+	binary.LittleEndian.PutUint64(b[16+8:], 20) // misaligned offset
+	if _, err := ParseContainer(b); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("misaligned section: %v", err)
+	}
+
+	// A header lying about m must be caught by the section-length check.
+	secs, err := ParseContainer(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.M += 100
+	if _, err := CSRFromSections(secs, h, false); err == nil {
+		t.Error("edge-count mismatch accepted")
+	}
+}
+
+// TestFromPartsValidation pins the structural checks.
+func TestFromPartsValidation(t *testing.T) {
+	if _, err := FromParts(2, 2, []uint64{0, 1, 2}, []uint32{1, 0}, nil); err != nil {
+		t.Fatalf("valid parts rejected: %v", err)
+	}
+	if _, err := FromParts(2, 2, []uint64{0, 2, 1}, []uint32{1, 0}, nil); err == nil {
+		t.Error("non-monotone offsets accepted")
+	}
+	if _, err := FromParts(2, 2, []uint64{0, 1}, []uint32{1, 0}, nil); err == nil {
+		t.Error("short offsets accepted")
+	}
+	if _, err := FromParts(2, 3, []uint64{0, 1, 2}, []uint32{1, 0}, nil); err == nil {
+		t.Error("m mismatch accepted")
+	}
+	if _, err := FromParts(2, 2, []uint64{0, 1, 2}, []uint32{1, 0}, []int32{7}); err == nil {
+		t.Error("short weights accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package harness
+
+// Workload caching through the dataset layer: regenerating the R-MAT
+// workload dominates short benchmark runs, so the harness can persist the
+// three workload graphs in the v2 binary container and reopen them
+// memory-mapped on subsequent runs — the graphs are then consumed in
+// place from storage, which is the system configuration the paper
+// benchmarks in the first place (graph on NVRAM, state in DRAM).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sage/internal/gen"
+	"sage/internal/graph"
+	"sage/internal/store"
+)
+
+var cacheMu sync.Mutex
+var cacheDir string
+var cacheOpen []*store.Dataset
+
+// SetWorkloadCache points NewWorkload at a directory of persisted
+// workloads (creating it if needed). An empty dir disables caching.
+// Datasets opened from the cache stay mapped until CloseWorkloadCache.
+func SetWorkloadCache(dir string) error {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	cacheDir = dir
+	return nil
+}
+
+// CloseWorkloadCache releases every mapping the cache handed out. The
+// workloads obtained from cached NewWorkload calls are invalid afterwards.
+func CloseWorkloadCache() error {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	var first error
+	for _, ds := range cacheOpen {
+		if err := ds.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	cacheOpen = nil
+	return first
+}
+
+// cachedWorkload loads (or builds and best-effort persists) the workload
+// for scale.
+func cachedWorkload(scale int, dir string) *Workload {
+	names := []string{"g", "wg", "setcover"}
+	paths := make([]string, len(names))
+	for i, name := range names {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("rmat-s%d-%s.sg", scale, name))
+	}
+	graphs := make([]*graph.Graph, len(names))
+	var opened []*store.Dataset
+	hit := true
+	for i, p := range paths {
+		ds, err := store.Open(p, store.OpenOptions{})
+		if err != nil {
+			hit = false
+			break
+		}
+		if ds.CSR() == nil {
+			ds.Close()
+			hit = false
+			break
+		}
+		opened = append(opened, ds)
+		graphs[i] = ds.CSR()
+	}
+	if hit {
+		cacheMu.Lock()
+		cacheOpen = append(cacheOpen, opened...)
+		cacheMu.Unlock()
+		return &Workload{Scale: scale, G: graphs[0], WG: graphs[1],
+			SetCover: graphs[2], NumSets: graphs[0].NumVertices()}
+	}
+	for _, ds := range opened {
+		ds.Close()
+	}
+	// Miss: build in memory and persist for the next run. Persisting is
+	// best-effort — the workload was just generated at full cost, so a
+	// cache-write failure (read-only dir, full disk) must not throw it
+	// away and force a second generation.
+	g := gen.RMAT(scale, 16, 0x5a6e+uint64(scale))
+	wg := gen.AddUniformWeights(g, 77)
+	sc, ns := SetCoverInstance(g)
+	for i, gr := range []*graph.Graph{g, wg, sc} {
+		if err := store.Create(paths[i], store.NewDataset(gr, nil), store.FormatBinary); err != nil {
+			break // a partial cache is fine: the next run re-misses
+		}
+	}
+	return &Workload{Scale: scale, G: g, WG: wg, SetCover: sc, NumSets: ns}
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestWorkloadCacheRoundTrip builds a workload twice through a cache
+// directory: the second call must reopen the persisted graphs (mapped,
+// when the platform supports it) and agree with the first structurally.
+func TestWorkloadCacheRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := SetWorkloadCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		SetWorkloadCache("")
+		if err := CloseWorkloadCache(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	a := NewWorkload(8) // miss: generates and persists
+	b := NewWorkload(8) // hit: reopens from disk
+	if a.G.NumEdges() != b.G.NumEdges() || a.WG.NumEdges() != b.WG.NumEdges() ||
+		a.SetCover.NumEdges() != b.SetCover.NumEdges() || a.NumSets != b.NumSets {
+		t.Fatalf("cached workload differs: %+v vs %+v", a, b)
+	}
+	if !b.WG.Weighted() {
+		t.Fatal("weighted graph lost its weights through the cache")
+	}
+	for v := uint32(0); v < a.G.NumVertices(); v++ {
+		an, bn := a.G.Neighbors(v), b.G.Neighbors(v)
+		if len(an) != len(bn) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(an), len(bn))
+		}
+		for i := range an {
+			if an[i] != bn[i] {
+				t.Fatalf("vertex %d neighbor %d differs", v, i)
+			}
+		}
+	}
+}

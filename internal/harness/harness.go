@@ -86,8 +86,18 @@ type Workload struct {
 }
 
 // NewWorkload builds the standard workload at 2^scale vertices with
-// average degree ~16 (the social/web regime of Table 2).
+// average degree ~16 (the social/web regime of Table 2). When a workload
+// cache is configured (SetWorkloadCache), the graphs are persisted through
+// the dataset layer and reopened memory-mapped instead of regenerated.
 func NewWorkload(scale int) *Workload {
+	cacheMu.Lock()
+	dir := cacheDir
+	cacheMu.Unlock()
+	if dir != "" {
+		// Cache trouble (unwritable dir, corrupt file) degrades to plain
+		// generation inside cachedWorkload: the benchmark must still run.
+		return cachedWorkload(scale, dir)
+	}
 	g := gen.RMAT(scale, 16, 0x5a6e+uint64(scale))
 	wg := gen.AddUniformWeights(g, 77)
 	sc, ns := SetCoverInstance(g)

@@ -1,0 +1,277 @@
+// Package store is the storage-aware dataset layer behind sage.Open and
+// sage.Create: a registry of on-disk graph formats (the v2 section
+// container for CSR and byte-compressed graphs, the legacy v1 flat binary,
+// Ligra adjacency text, and whitespace edge lists) with magic-byte and
+// extension sniffing, and a Dataset lifecycle that ties a decoded graph to
+// the read-only arena backing it.
+//
+// For the binary container the decoded graph's offsets/edges/weights (or
+// degrees/vtxoff/data) slices alias the arena's memory mapping directly —
+// the App-Direct "graph lives on NVRAM, consumed in place" configuration
+// made literal — so Close must outlive every use of the graph.
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"sage/internal/compress"
+	"sage/internal/graph"
+)
+
+// ErrCompressed is the shared sentinel for operations that require the
+// uncompressed CSR representation (text encoders, relabeling, weighting).
+var ErrCompressed = errors.New("graph is byte-compressed")
+
+// ErrClosed reports use of a dataset after Close.
+var ErrClosed = errors.New("dataset is closed")
+
+// Dataset is an opened graph plus the storage backing it. Exactly one of
+// CSR and CG is non-nil.
+type Dataset struct {
+	csr    *graph.Graph
+	cg     *compress.CGraph
+	arena  *graph.Arena // non-nil when the graph's arrays may alias it
+	closed atomic.Bool
+}
+
+// NewDataset wraps an in-memory graph (no backing arena) as a dataset,
+// for encoding. Exactly one of csr and cg must be non-nil.
+func NewDataset(csr *graph.Graph, cg *compress.CGraph) *Dataset {
+	return &Dataset{csr: csr, cg: cg}
+}
+
+// CSR returns the uncompressed representation, or nil.
+func (d *Dataset) CSR() *graph.Graph { return d.csr }
+
+// CG returns the byte-compressed representation, or nil.
+func (d *Dataset) CG() *compress.CGraph { return d.cg }
+
+// Adj returns the graph under the shared adjacency interface.
+func (d *Dataset) Adj() graph.Adj {
+	if d.csr != nil {
+		return d.csr
+	}
+	return d.cg
+}
+
+// Mapped reports whether the dataset's arrays alias a live memory mapping
+// of the source file.
+func (d *Dataset) Mapped() bool { return d.arena != nil && d.arena.Mapped() }
+
+// Closed reports whether Close has been called.
+func (d *Dataset) Closed() bool { return d.closed.Load() }
+
+// Close releases the backing arena. After Close, a mapped dataset's graph
+// slices are invalid and must not be touched. Closing twice returns
+// ErrClosed.
+func (d *Dataset) Close() error {
+	if d.closed.Swap(true) {
+		return ErrClosed
+	}
+	if d.arena != nil {
+		return d.arena.Close()
+	}
+	return nil
+}
+
+// Format describes one registered on-disk graph format.
+type Format struct {
+	// Name is the registry key (the -format CLI value).
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Extensions are the file extensions (with dot) the format claims when
+	// writing and as a sniffing tie-break when reading.
+	Extensions []string
+	// Sniff reports whether the leading bytes of a file are this format.
+	// Sniffers are tried in registration order, most specific first.
+	Sniff func(prefix []byte) bool
+	// Decode builds a dataset from an opened arena. keepArena reports
+	// whether the dataset's arrays may alias the arena (binary formats);
+	// when false the caller closes the arena immediately after decoding.
+	Decode func(a *graph.Arena) (ds *Dataset, keepArena bool, err error)
+	// Encode writes the dataset, or is nil for read-only formats.
+	Encode func(w io.Writer, d *Dataset) error
+}
+
+// formats is the ordered registry (sniffing order).
+var formats []*Format
+
+// Register appends a format to the registry. Duplicate names panic (a
+// program-wiring bug, not an input error).
+func Register(f *Format) {
+	for _, g := range formats {
+		if g.Name == f.Name {
+			panic("store: duplicate format " + f.Name)
+		}
+	}
+	formats = append(formats, f)
+}
+
+// ByName returns the named format.
+func ByName(name string) (*Format, error) {
+	for _, f := range formats {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("store: unknown format %q (have %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names returns the registered format names in sniffing order.
+func Names() []string {
+	out := make([]string, len(formats))
+	for i, f := range formats {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Describe returns "name\tdoc" lines for CLI listings.
+func Describe() []string {
+	out := make([]string, len(formats))
+	for i, f := range formats {
+		exts := strings.Join(f.Extensions, ",")
+		out[i] = fmt.Sprintf("%-10s %s (%s)", f.Name, f.Doc, exts)
+	}
+	return out
+}
+
+// byExtension returns the format claiming path's extension, or nil.
+func byExtension(path string) *Format {
+	ext := strings.ToLower(filepath.Ext(path))
+	if ext == "" {
+		return nil
+	}
+	for _, f := range formats {
+		for _, e := range f.Extensions {
+			if e == ext {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// Detect picks the format for a file from its leading bytes, falling back
+// to the path extension when no sniffer claims it.
+func Detect(prefix []byte, path string) (*Format, error) {
+	for _, f := range formats {
+		if f.Sniff != nil && f.Sniff(prefix) {
+			return f, nil
+		}
+	}
+	if f := byExtension(path); f != nil {
+		return f, nil
+	}
+	return nil, fmt.Errorf("store: cannot determine the format of %s (known formats: %s)",
+		path, strings.Join(Names(), ", "))
+}
+
+// OpenOptions configures Open.
+type OpenOptions struct {
+	// Format overrides sniffing with an explicit registry name.
+	Format string
+	// Copy forces the heap-resident path: the file is read (not mapped)
+	// into an aligned private buffer.
+	Copy bool
+}
+
+// Open opens the graph stored at path. Binary formats are memory-mapped
+// (unless opts.Copy or the platform lacks mmap) with the graph arrays
+// aliasing the mapping; text formats are parsed into heap arrays.
+func Open(path string, opts OpenOptions) (*Dataset, error) {
+	a, err := graph.OpenArena(path, opts.Copy)
+	if err != nil {
+		return nil, err
+	}
+	var f *Format
+	if opts.Format != "" {
+		f, err = ByName(opts.Format)
+	} else {
+		b := a.Bytes()
+		f, err = Detect(b[:min(len(b), 64)], path)
+	}
+	if err != nil {
+		a.Close()
+		return nil, err
+	}
+	ds, keep, err := f.Decode(a)
+	if err != nil {
+		a.Close()
+		return nil, fmt.Errorf("store: %s as %s: %w", path, f.Name, err)
+	}
+	if keep {
+		ds.arena = a
+	} else {
+		if cerr := a.Close(); cerr != nil {
+			ds.Close()
+			return nil, cerr
+		}
+	}
+	return ds, nil
+}
+
+// Create writes d to path. The format is chosen by explicit name, then by
+// the path extension, then defaults to the v2 binary container.
+func Create(path string, d *Dataset, formatName string) error {
+	var f *Format
+	var err error
+	switch {
+	case formatName != "":
+		f, err = ByName(formatName)
+		if err != nil {
+			return err
+		}
+	default:
+		if f = byExtension(path); f == nil {
+			f, err = ByName(FormatBinary)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if f.Encode == nil {
+		return fmt.Errorf("store: format %s is read-only", f.Name)
+	}
+	// Encode into a temp file and rename into place: a failed encode (an
+	// ErrCompressed misuse, a full disk) must never destroy an existing
+	// file at path, and readers never observe a half-written graph.
+	w, err := os.CreateTemp(filepath.Dir(path), ".sage-create-*")
+	if err != nil {
+		return err
+	}
+	tmp := w.Name()
+	fail := func(err error) error {
+		w.Close()
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if err := f.Encode(bw, d); err != nil {
+		return fail(fmt.Errorf("store: encoding %s as %s: %w", path, f.Name, err))
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil { // CreateTemp defaults to 0600
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

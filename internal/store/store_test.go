@@ -1,0 +1,330 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"unsafe"
+
+	"sage/internal/compress"
+	"sage/internal/graph"
+)
+
+// testGraphs builds the CSR corpus the round-trip tests cover: the
+// degenerate shapes (empty, single vertex) plus small weighted and
+// unweighted symmetric graphs.
+func testGraphs() map[string]*graph.Graph {
+	tri := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}}
+	wtri := []graph.WEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 9}, {U: 2, V: 3, W: 1}}
+	return map[string]*graph.Graph{
+		"empty":      graph.FromEdges(0, nil, graph.BuildOpts{Symmetrize: true}),
+		"singleton":  graph.FromEdges(1, nil, graph.BuildOpts{Symmetrize: true}),
+		"unweighted": graph.FromEdges(5, tri, graph.BuildOpts{Symmetrize: true}),
+		"weighted":   graph.FromWeightedEdges(5, wtri, graph.BuildOpts{Symmetrize: true}),
+	}
+}
+
+// csrEqual compares two CSR graphs field by field.
+func csrEqual(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("shape: got n=%d m=%d, want n=%d m=%d",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	if got.Weighted() != want.Weighted() {
+		t.Fatalf("weighted: got %v want %v", got.Weighted(), want.Weighted())
+	}
+	for v := uint32(0); v < want.NumVertices(); v++ {
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("vertex %d: degree %d want %d", v, len(gn), len(wn))
+		}
+		for i := range wn {
+			if gn[i] != wn[i] {
+				t.Fatalf("vertex %d neighbor %d: %d want %d", v, i, gn[i], wn[i])
+			}
+		}
+		gw, ww := got.NeighborWeights(v), want.NeighborWeights(v)
+		for i := range ww {
+			if gw[i] != ww[i] {
+				t.Fatalf("vertex %d weight %d: %d want %d", v, i, gw[i], ww[i])
+			}
+		}
+	}
+}
+
+// TestCSRRoundTripAllFormats writes every test graph in every writable
+// format and reads it back, in both the mmap and copy modes.
+func TestCSRRoundTripAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	for gname, g := range testGraphs() {
+		for _, fname := range Names() {
+			for _, copyMode := range []bool{false, true} {
+				path := filepath.Join(dir, gname+"-"+fname+".x")
+				if err := Create(path, NewDataset(g, nil), fname); err != nil {
+					t.Fatalf("%s as %s: create: %v", gname, fname, err)
+				}
+				ds, err := Open(path, OpenOptions{Format: fname, Copy: copyMode})
+				if err != nil {
+					t.Fatalf("%s as %s (copy=%v): open: %v", gname, fname, copyMode, err)
+				}
+				if ds.CSR() == nil {
+					t.Fatalf("%s as %s: decoded as compressed", gname, fname)
+				}
+				csrEqual(t, ds.CSR(), g)
+				if copyMode && ds.Mapped() {
+					t.Fatalf("%s as %s: copy mode produced a mapping", gname, fname)
+				}
+				if err := ds.Close(); err != nil {
+					t.Fatalf("close: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedRoundTrip round-trips compressed graphs (weighted and
+// not) through the v2 container and checks byte identity of a re-encode.
+func TestCompressedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, gname := range []string{"empty", "singleton", "unweighted", "weighted"} {
+		g := testGraphs()[gname]
+		cg := compress.Compress(g, 2) // tiny blocks exercise multi-block vertices
+		path := filepath.Join(dir, gname+".sg")
+		if err := Create(path, NewDataset(nil, cg), FormatBinary); err != nil {
+			t.Fatalf("%s: create: %v", gname, err)
+		}
+		ds, err := Open(path, OpenOptions{})
+		if err != nil {
+			t.Fatalf("%s: open: %v", gname, err)
+		}
+		got := ds.CG()
+		if got == nil {
+			t.Fatalf("%s: decoded as CSR", gname)
+		}
+		if got.NumVertices() != cg.NumVertices() || got.NumEdges() != cg.NumEdges() ||
+			got.BlockSize() != cg.BlockSize() || got.Weighted() != cg.Weighted() ||
+			!bytes.Equal(got.Data(), cg.Data()) {
+			t.Fatalf("%s: compressed payload drifted", gname)
+		}
+		// Re-encoding the reopened graph must reproduce the file byte for
+		// byte: nothing is re-encoded along the way.
+		path2 := filepath.Join(dir, gname+"-2.sg")
+		if err := Create(path2, NewDataset(nil, got), FormatBinary); err != nil {
+			t.Fatalf("%s: re-create: %v", gname, err)
+		}
+		b1, _ := os.ReadFile(path)
+		b2, _ := os.ReadFile(path2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s: round trip not byte-identical (%d vs %d bytes)", gname, len(b1), len(b2))
+		}
+		if err := ds.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCompressedTextFormatsRejected verifies the CSR-only encoders fail
+// with the shared ErrCompressed sentinel.
+func TestCompressedTextFormatsRejected(t *testing.T) {
+	cg := compress.Compress(testGraphs()["unweighted"], 64)
+	dir := t.TempDir()
+	for _, fname := range []string{FormatBinaryV1, FormatAdj, FormatEdgeList} {
+		err := Create(filepath.Join(dir, "c.x"), NewDataset(nil, cg), fname)
+		if !errors.Is(err, ErrCompressed) {
+			t.Fatalf("%s: err = %v, want ErrCompressed", fname, err)
+		}
+	}
+}
+
+// TestSniffing opens every format without a format hint and with a
+// non-committal extension, so only the content sniffers can pick it.
+func TestSniffing(t *testing.T) {
+	g := testGraphs()["weighted"]
+	dir := t.TempDir()
+	for _, fname := range Names() {
+		path := filepath.Join(dir, "sniff-"+fname+".dat")
+		if err := Create(path, NewDataset(g, nil), fname); err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Open(path, OpenOptions{})
+		if err != nil {
+			t.Fatalf("sniffing %s: %v", fname, err)
+		}
+		csrEqual(t, ds.CSR(), g)
+		ds.Close()
+	}
+}
+
+// TestExtensionFallback covers files whose content no sniffer claims...
+// there are none (every built-in format sniffs), so instead verify that
+// Create with no explicit format follows the extension.
+func TestExtensionFallback(t *testing.T) {
+	g := testGraphs()["unweighted"]
+	dir := t.TempDir()
+	cases := map[string]string{
+		"g.sg": FormatBinary, "g.adj": FormatAdj, "g.el": FormatEdgeList,
+		"g.sg1": FormatBinaryV1, "g.noext": FormatBinary,
+	}
+	for file, wantFormat := range cases {
+		path := filepath.Join(dir, file)
+		if err := Create(path, NewDataset(g, nil), ""); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Detect(b[:min(len(b), 64)], path)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if f.Name != wantFormat {
+			t.Fatalf("%s: wrote %s, want %s", file, f.Name, wantFormat)
+		}
+	}
+}
+
+// TestZeroCopyAliasing pins the zero-copy claim: the opened CSR's offsets
+// and edges arrays must point inside the arena's mapping, not at heap
+// copies — and in copy mode they must NOT alias the arena.
+func TestZeroCopyAliasing(t *testing.T) {
+	g := testGraphs()["weighted"]
+	path := filepath.Join(t.TempDir(), "alias.sg")
+	if err := Create(path, NewDataset(g, nil), FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.arena == nil {
+		t.Fatal("binary open did not retain the arena")
+	}
+	inArena := func(p unsafe.Pointer) bool {
+		b := ds.arena.Bytes()
+		lo := uintptr(unsafe.Pointer(&b[0]))
+		return uintptr(p) >= lo && uintptr(p) < lo+uintptr(len(b))
+	}
+	csr := ds.CSR()
+	if !inArena(unsafe.Pointer(&csr.Offsets()[0])) {
+		t.Error("offsets do not alias the arena")
+	}
+	if !inArena(unsafe.Pointer(&csr.Edges()[0])) {
+		t.Error("edges do not alias the arena")
+	}
+
+	// Compressed graphs alias too: degrees, vertex offsets, and data.
+	cpath := filepath.Join(t.TempDir(), "alias-c.sg")
+	cg := compress.Compress(g, 2)
+	if err := Create(cpath, NewDataset(nil, cg), FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	cds, err := Open(cpath, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cds.Close()
+	cb := cds.arena.Bytes()
+	cin := func(p unsafe.Pointer) bool {
+		lo := uintptr(unsafe.Pointer(&cb[0]))
+		return uintptr(p) >= lo && uintptr(p) < lo+uintptr(len(cb))
+	}
+	ccg := cds.CG()
+	if !cin(unsafe.Pointer(&ccg.Degrees()[0])) || !cin(unsafe.Pointer(&ccg.VtxOff()[0])) ||
+		!cin(unsafe.Pointer(&ccg.Data()[0])) {
+		t.Error("compressed arrays do not alias the arena")
+	}
+
+	// Copy mode: an independent heap graph.
+	hds, err := Open(path, OpenOptions{Copy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hds.Close()
+	if hds.Mapped() {
+		t.Error("copy mode reported a mapping")
+	}
+	if inArena(unsafe.Pointer(&hds.CSR().Edges()[0])) {
+		t.Error("copy-mode edges alias the other dataset's arena")
+	}
+}
+
+// TestDatasetCloseTwice verifies the ErrClosed lifecycle.
+func TestDatasetCloseTwice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.sg")
+	if err := Create(path, NewDataset(testGraphs()["unweighted"], nil), ""); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := ds.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close: %v, want ErrClosed", err)
+	}
+}
+
+// TestDetectGarbage rejects unrecognizable content with a helpful error.
+func TestDetectGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.blob")
+	if err := os.WriteFile(path, []byte("\x7fELF not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, OpenOptions{}); err == nil {
+		t.Fatal("garbage opened without error")
+	}
+}
+
+// TestEdgeListForeign parses an unannotated SNAP-style list (no sage
+// header): n is inferred and the graph symmetrized.
+func TestEdgeListForeign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.txt")
+	content := "# Directed graph: toy\n# Nodes: 4 Edges: 3\n0\t1\n1\t2\n3\t1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Open(path, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	g := ds.CSR()
+	if g.NumVertices() != 4 || g.NumEdges() != 6 {
+		t.Fatalf("n=%d m=%d, want n=4 m=6", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeListMixedWeightsRejected enforces column consistency.
+func TestEdgeListMixedWeightsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mixed.el")
+	if err := os.WriteFile(path, []byte("0 1\n1 2 7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, OpenOptions{}); err == nil {
+		t.Fatal("mixed weighted/unweighted lines accepted")
+	}
+}
+
+// TestUnknownFormatName covers the registry error paths.
+func TestUnknownFormatName(t *testing.T) {
+	if _, err := ByName("tarball"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	path := filepath.Join(t.TempDir(), "g.sg")
+	if err := Create(path, NewDataset(testGraphs()["unweighted"], nil), "tarball"); err == nil {
+		t.Fatal("create with unknown format succeeded")
+	}
+	if _, err := Open(path, OpenOptions{Format: "tarball"}); err == nil {
+		t.Fatal("open with unknown format succeeded")
+	}
+}

@@ -1,0 +1,250 @@
+package sage_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sage"
+)
+
+// TestOpenMmapVsCopyEquivalence is the acceptance check for the zero-copy
+// path: the same stored graph opened via mmap and via the heap-copy
+// fallback must produce identical BFS parents AND identical PSAM golden
+// counts — and both must match the never-stored in-memory graph, since
+// the accounting is positional and the arrays are bit-identical.
+func TestOpenMmapVsCopyEquivalence(t *testing.T) {
+	old := sage.Workers()
+	defer sage.SetWorkers(old)
+	sage.SetWorkers(1) // goldens require deterministic tie-breaking
+
+	mem := sage.GenerateRMAT(11, 8, 7) // the PSAM regression seed graph
+	path := filepath.Join(t.TempDir(), "golden.sg")
+	if err := sage.Create(path, mem); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := sage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	copied, err := sage.Open(path, sage.WithCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer copied.Close()
+	if copied.Mapped() {
+		t.Fatal("WithCopy produced a mapping")
+	}
+
+	type run struct {
+		parents []uint32
+		stats   statKey
+	}
+	runOn := func(g *sage.Graph) run {
+		e := sage.NewEngine(sage.WithMode(sage.AppDirect), sage.WithSeed(7))
+		parents := e.MustBFS(g, 0)
+		e2 := sage.NewEngine(sage.WithMode(sage.AppDirect), sage.WithSeed(7))
+		e2.MustConnectivity(g)
+		s := e.Stats()
+		s2 := e2.Stats()
+		return run{parents, statKey{
+			s.PSAMCost + s2.PSAMCost, s.NVRAMReads + s2.NVRAMReads,
+			s.NVRAMWrites + s2.NVRAMWrites, s.DRAMReads + s2.DRAMReads,
+			s.DRAMWrites + s2.DRAMWrites}}
+	}
+	want := runOn(mem)
+	// The BFS golden from psam_regress_test.go pins this workload; the
+	// in-memory baseline must still be on it, otherwise this test is
+	// comparing three copies of a drifted world.
+	if bfs := goldenStats["csr/chunked/bfs"]; want.stats.NVRAMWrites != 0 ||
+		bfs.Cost == 0 {
+		t.Fatalf("baseline drifted: %+v", want.stats)
+	}
+	for name, g := range map[string]*sage.Graph{"mmap": mapped, "copy": copied} {
+		got := runOn(g)
+		if got.stats != want.stats {
+			t.Errorf("%s: PSAM counts differ from in-memory:\n got  %+v\n want %+v",
+				name, got.stats, want.stats)
+		}
+		for v := range want.parents {
+			if got.parents[v] != want.parents[v] {
+				t.Fatalf("%s: BFS parent of %d differs", name, v)
+			}
+		}
+	}
+}
+
+// TestOpenCompressedEquivalence runs a traversal on a compressed graph
+// reopened from storage and compares it against the original.
+func TestOpenCompressedEquivalence(t *testing.T) {
+	g := sage.GenerateRMAT(10, 8, 3)
+	cg := g.Compress(64)
+	path := filepath.Join(t.TempDir(), "c.sg")
+	if err := sage.Create(path, cg); err != nil {
+		t.Fatal(err)
+	}
+	cg2, err := sage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cg2.Close()
+	if !cg2.Compressed() {
+		t.Fatal("compressed graph reopened as CSR")
+	}
+	e := sage.NewEngine(sage.WithSeed(5))
+	a := e.MustBFS(cg, 0)
+	b := e.MustBFS(cg2, 0)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("parent of %d differs after reopen", v)
+		}
+	}
+	if e.MustTriangleCount(cg).Count != e.MustTriangleCount(cg2).Count {
+		t.Fatal("triangle count differs after reopen")
+	}
+}
+
+// TestCreateCompressedByteIdentical is the round-trip acceptance check:
+// Create → Open → Create must reproduce the file byte for byte.
+func TestCreateCompressedByteIdentical(t *testing.T) {
+	wg := weighted(t, sage.GenerateRMAT(9, 6, 11), 4)
+	cg := wg.Compress(128)
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.sg")
+	p2 := filepath.Join(dir, "b.sg")
+	if err := sage.Create(p1, cg); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := sage.Open(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if err := sage.Create(p2, reopened); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if len(b1) == 0 || !bytes.Equal(b1, b2) {
+		t.Fatalf("compressed round trip not byte-identical (%d vs %d bytes)", len(b1), len(b2))
+	}
+}
+
+// TestGraphCloseMisuse pins the lifecycle contract: accessors panic after
+// Close, and a second Close reports ErrClosed.
+func TestGraphCloseMisuse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.sg")
+	if err := sage.Create(path, sage.GenerateGrid(8, 8, false)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := sage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := g.Close(); !errors.Is(err, sage.ErrClosed) {
+		t.Fatalf("second close: %v, want ErrClosed", err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on closed graph did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NumVertices", func() { g.NumVertices() })
+	mustPanic("Raw", func() { g.Raw() })
+	mustPanic("engine run", func() { sage.NewEngine().MustBFS(g, 0) })
+	mustPanic("Create", func() { sage.Create(filepath.Join(t.TempDir(), "x.sg"), g) })
+}
+
+// TestErrCompressedUnified verifies every CSR-only operation reports the
+// one shared sentinel instead of the old mix of panics and ad-hoc errors.
+func TestErrCompressedUnified(t *testing.T) {
+	cg := sage.GenerateRMAT(8, 6, 2).Compress(64)
+	if _, err := cg.WithUniformWeights(1); !errors.Is(err, sage.ErrCompressed) {
+		t.Fatalf("WithUniformWeights: %v", err)
+	}
+	if _, err := cg.RelabelByDegree(); !errors.Is(err, sage.ErrCompressed) {
+		t.Fatalf("RelabelByDegree: %v", err)
+	}
+	dir := t.TempDir()
+	if err := cg.SaveText(filepath.Join(dir, "c.adj")); !errors.Is(err, sage.ErrCompressed) {
+		t.Fatalf("SaveText: %v", err)
+	}
+	if err := sage.Create(filepath.Join(dir, "c.el"), cg); !errors.Is(err, sage.ErrCompressed) {
+		t.Fatalf("Create as edgelist: %v", err)
+	}
+	// The binary container, by contrast, accepts it.
+	if err := sage.Create(filepath.Join(dir, "c.sg"), cg); err != nil {
+		t.Fatalf("Create as binary: %v", err)
+	}
+}
+
+// TestOpenFormatOverrideAndListing covers WithFormat and the registry
+// listing surface.
+func TestOpenFormatOverrideAndListing(t *testing.T) {
+	names := sage.Formats()
+	if len(names) < 4 {
+		t.Fatalf("registry lists %d formats, want >= 4", len(names))
+	}
+	if len(sage.FormatDescriptions()) != len(names) {
+		t.Fatal("descriptions out of sync with names")
+	}
+	g := sage.GenerateGrid(4, 4, false)
+	path := filepath.Join(t.TempDir(), "grid.bin") // .bin maps to the container
+	if err := sage.Create(path, g, sage.As(sage.FormatEdgeList)); err != nil {
+		t.Fatal(err)
+	}
+	// Sniffing still identifies the content despite the extension.
+	g2, err := sage.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip mismatch")
+	}
+	// And an explicit wrong format fails loudly.
+	if _, err := sage.Open(path, sage.WithFormat(sage.FormatBinary)); err == nil {
+		t.Fatal("edge list decoded as binary container")
+	}
+}
+
+// TestDeprecatedWrappers keeps Load/LoadText/Save/SaveText working on the
+// new machinery: Save now writes the v2 container, Load sniffs both
+// binary generations.
+func TestDeprecatedWrappers(t *testing.T) {
+	g := weighted(t, sage.GenerateGrid(6, 6, false), 9)
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.dat")
+	if err := g.Save(bin); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := sage.Load(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	if g2.NumEdges() != g.NumEdges() || !g2.Weighted() {
+		t.Fatal("binary wrapper round trip")
+	}
+	txt := filepath.Join(dir, "g.anything")
+	if err := g.SaveText(txt); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := sage.LoadText(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g3.Close()
+	if g3.NumEdges() != g.NumEdges() {
+		t.Fatal("text wrapper round trip")
+	}
+}

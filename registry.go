@@ -131,7 +131,7 @@ func (e *Engine) RunAlgorithm(ctx context.Context, name string, g *Graph, args A
 	r := e.NewRun()
 	defer e.recycle(r)
 	res, err := capture(r, ctx, func(o *algos.Options) algos.Result {
-		return spec.Run(g.adj, o, algos.Args(args))
+		return spec.Run(g.use(), o, algos.Args(args))
 	})
 	if err != nil {
 		return nil, err

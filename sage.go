@@ -24,17 +24,25 @@
 // frontier/iteration boundaries and return ctx.Err(); sage.Algorithms
 // enumerates the registry behind the typed methods, invokable by name
 // through Engine.RunAlgorithm.
+//
+// Stored graphs are handled by Open and Create (see open.go): a format
+// registry sniffs binary containers and text formats, and binary files
+// are memory-mapped so the opened graph is consumed in place from
+// storage — close it with Graph.Close when done:
+//
+//	g, err := sage.Open("web.sg")
+//	defer g.Close()
 package sage
 
 import (
-	"fmt"
-	"os"
+	"sync/atomic"
 
 	"sage/internal/compress"
 	"sage/internal/gen"
 	"sage/internal/graph"
 	"sage/internal/parallel"
 	"sage/internal/psam"
+	"sage/internal/store"
 	"sage/internal/traverse"
 )
 
@@ -69,29 +77,33 @@ const (
 )
 
 // Graph is an immutable graph handle: an uncompressed CSR or a
-// byte-compressed representation, optionally weighted.
+// byte-compressed representation, optionally weighted. Graphs returned by
+// Open may be backed by a memory mapping of their file; Close releases it.
 type Graph struct {
-	adj graph.Adj
-	raw *graph.Graph // non-nil iff uncompressed
+	adj    graph.Adj
+	raw    *graph.Graph   // non-nil iff uncompressed
+	ds     *store.Dataset // non-nil iff file-backed (owns the arena)
+	closed atomic.Bool
 }
 
 // NumVertices returns n.
-func (g *Graph) NumVertices() uint32 { return g.adj.NumVertices() }
+func (g *Graph) NumVertices() uint32 { g.check(); return g.adj.NumVertices() }
 
 // NumEdges returns the number of stored arcs (2x the undirected edges).
-func (g *Graph) NumEdges() uint64 { return g.adj.NumEdges() }
+func (g *Graph) NumEdges() uint64 { g.check(); return g.adj.NumEdges() }
 
 // Weighted reports whether edges carry integer weights.
-func (g *Graph) Weighted() bool { return g.adj.Weighted() }
+func (g *Graph) Weighted() bool { g.check(); return g.adj.Weighted() }
 
 // Compressed reports whether the graph uses the byte-compressed format.
-func (g *Graph) Compressed() bool { return g.raw == nil }
+func (g *Graph) Compressed() bool { g.check(); return g.raw == nil }
 
 // Degree returns deg(v).
-func (g *Graph) Degree(v uint32) uint32 { return g.adj.Degree(v) }
+func (g *Graph) Degree(v uint32) uint32 { g.check(); return g.adj.Degree(v) }
 
 // SizeWords returns the simulated NVRAM footprint.
 func (g *Graph) SizeWords() int64 {
+	g.check()
 	if g.raw != nil {
 		return g.raw.SizeWords()
 	}
@@ -143,48 +155,61 @@ func GenerateGrid(rows, cols uint32, wrap bool) *Graph {
 	return &Graph{adj: raw, raw: raw}
 }
 
+// GenerateStar generates a star: vertex 0 adjacent to all others (the
+// maximum-skew degree distribution, a chunking stress test).
+func GenerateStar(n uint32) *Graph {
+	raw := gen.Star(n)
+	return &Graph{adj: raw, raw: raw}
+}
+
+// GenerateChain generates a path graph (the maximum-diameter input, a
+// frontier-overhead stress test).
+func GenerateChain(n uint32) *Graph {
+	raw := gen.Chain(n)
+	return &Graph{adj: raw, raw: raw}
+}
+
 // WithUniformWeights returns a weighted copy with weights uniform in
-// [1, log2 n), the paper's weighting (§5.1.3).
-func (g *Graph) WithUniformWeights(seed uint64) *Graph {
+// [1, log2 n), the paper's weighting (§5.1.3). Weighting requires the CSR
+// representation; compressed graphs return ErrCompressed.
+func (g *Graph) WithUniformWeights(seed uint64) (*Graph, error) {
+	g.check()
 	if g.raw == nil {
-		panic("sage: weight a graph before compressing it")
+		return nil, errCompressedOp("weighting")
 	}
 	raw := gen.AddUniformWeights(g.raw, seed)
-	return &Graph{adj: raw, raw: raw}
+	return &Graph{adj: raw, raw: raw}, nil
 }
 
 // Compress returns the byte-compressed representation with the given
 // compression block size (64/128/256; §4.2.1, Table 4). Weighted graphs
 // interleave zigzag-varint weights per edge, as Ligra+ does.
 func (g *Graph) Compress(blockSize int) *Graph {
+	g.check()
 	if g.raw == nil {
 		return g
 	}
 	return &Graph{adj: compress.Compress(g.raw, blockSize)}
 }
 
-// Load reads a graph in the binary format written by Save.
-func Load(path string) (*Graph, error) {
-	raw, err := graph.LoadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return &Graph{adj: raw, raw: raw}, nil
-}
+// Load reads a stored graph.
+//
+// Deprecated: use Open, which sniffs the format (including the legacy
+// binary this function historically read) and memory-maps binary files.
+func Load(path string) (*Graph, error) { return Open(path) }
 
-// Save writes the graph in the binary format.
+// Save writes the graph in the v2 binary container.
+//
+// Deprecated: use Create, which also selects formats by extension.
 func (g *Graph) Save(path string) error {
-	if g.raw == nil {
-		return fmt.Errorf("sage: saving compressed graphs is not supported")
-	}
-	return g.raw.SaveFile(path)
+	return Create(path, g, As(FormatBinary))
 }
 
 // Raw exposes the underlying adjacency (for the experiment harness).
-func (g *Graph) Raw() graph.Adj { return g.adj }
+func (g *Graph) Raw() graph.Adj { g.check(); return g.adj }
 
 // RawCSR exposes the CSR representation, or nil for compressed graphs.
-func (g *Graph) RawCSR() *graph.Graph { return g.raw }
+func (g *Graph) RawCSR() *graph.Graph { g.check(); return g.raw }
 
 // SetWorkers sets the global worker-pool size (T1..Tp sweeps, Figure 6).
 func SetWorkers(n int) { parallel.SetWorkers(n) }
@@ -194,41 +219,29 @@ func Workers() int { return parallel.Workers() }
 
 // LoadText reads a graph in the Ligra "AdjacencyGraph" /
 // "WeightedAdjacencyGraph" text format used by the paper's code base.
+//
+// Deprecated: use Open with WithFormat(FormatAdj) (or rely on sniffing).
 func LoadText(path string) (*Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	raw, err := graph.ReadText(f)
-	if err != nil {
-		return nil, err
-	}
-	return &Graph{adj: raw, raw: raw}, nil
+	return Open(path, WithFormat(FormatAdj))
 }
 
-// SaveText writes the graph in the Ligra text format.
+// SaveText writes the graph in the Ligra text format. Compressed graphs
+// return ErrCompressed.
+//
+// Deprecated: use Create with As(FormatAdj).
 func (g *Graph) SaveText(path string) error {
-	if g.raw == nil {
-		return fmt.Errorf("sage: saving compressed graphs is not supported")
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := g.raw.WriteText(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return Create(path, g, As(FormatAdj))
 }
 
 // RelabelByDegree returns a copy of the graph renumbered hubs-first — the
 // ordering knob whose effect on triangle counting Appendix D.1 studies.
-func (g *Graph) RelabelByDegree() *Graph {
+// Relabeling requires the CSR representation; compressed graphs return
+// ErrCompressed.
+func (g *Graph) RelabelByDegree() (*Graph, error) {
+	g.check()
 	if g.raw == nil {
-		panic("sage: relabel before compressing")
+		return nil, errCompressedOp("relabeling")
 	}
 	raw := g.raw.Relabel(g.raw.DegreeOrder())
-	return &Graph{adj: raw, raw: raw}
+	return &Graph{adj: raw, raw: raw}, nil
 }

@@ -7,6 +7,17 @@ import (
 	"sage"
 )
 
+// weighted attaches uniform weights, failing the test on misuse (the
+// call sites all hold CSR graphs, so the error path never fires here).
+func weighted(t testing.TB, g *sage.Graph, seed uint64) *sage.Graph {
+	t.Helper()
+	wg, err := g.WithUniformWeights(seed)
+	if err != nil {
+		t.Fatalf("WithUniformWeights: %v", err)
+	}
+	return wg
+}
+
 func TestPublicAPIQuickstart(t *testing.T) {
 	g := sage.GenerateRMAT(10, 8, 1)
 	if g.NumVertices() != 1024 {
@@ -32,7 +43,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 
 func TestPublicAPIAllAlgorithms(t *testing.T) {
 	g := sage.GenerateRMAT(9, 8, 2)
-	wg := g.WithUniformWeights(3)
+	wg := weighted(t, g, 3)
 	e := sage.NewEngine()
 
 	if got := e.MustBFS(g, 0); len(got) != int(g.NumVertices()) {
@@ -114,7 +125,7 @@ func TestPublicAPICompressedParity(t *testing.T) {
 }
 
 func TestPublicAPISaveLoad(t *testing.T) {
-	g := sage.GenerateGrid(16, 16, false).WithUniformWeights(5)
+	g := weighted(t, sage.GenerateGrid(16, 16, false), 5)
 	path := filepath.Join(t.TempDir(), "g.sg")
 	if err := g.Save(path); err != nil {
 		t.Fatal(err)
@@ -221,7 +232,10 @@ func TestPublicAPITextFormat(t *testing.T) {
 
 func TestPublicAPIRelabelByDegree(t *testing.T) {
 	g := sage.GeneratePowerLaw(1<<10, 4, 3)
-	h := g.RelabelByDegree()
+	h, err := g.RelabelByDegree()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.NumEdges() != g.NumEdges() {
 		t.Fatal("relabel changed the edge count")
 	}
@@ -272,7 +286,7 @@ func TestPublicAPIExtensions(t *testing.T) {
 }
 
 func TestPublicAPIWeightedCompression(t *testing.T) {
-	g := sage.GenerateRMAT(9, 10, 31).WithUniformWeights(7)
+	g := weighted(t, sage.GenerateRMAT(9, 10, 31), 7)
 	cg := g.Compress(64)
 	if !cg.Weighted() {
 		t.Fatal("weights lost in compression")
