@@ -1,0 +1,164 @@
+// Command sage-serve runs the Sage graph-query service: a catalog of
+// stored graphs kept resident (memory-mapped and shared across requests)
+// with every registry algorithm exposed over HTTP.
+//
+// Datasets are named on the command line, either explicitly
+// (-dataset name=path, repeatable) or as positional paths whose basename
+// becomes the name. Files are opened lazily on first query, shared by all
+// concurrent runs, and LRU-evicted under -dataset-budget.
+//
+// Endpoints:
+//
+//	GET  /healthz                      liveness + uptime
+//	GET  /v1/datasets                  catalog listing
+//	GET  /v1/algorithms                registry with the JSON args schema
+//	POST /v1/run/{dataset}/{algo}      run; JSON body = args, e.g. {"src": 3}
+//	GET  /metrics                      engine PSAM aggregate + service counters
+//
+// Admission control: -max-concurrent bounds runs in flight and
+// -dram-budget bounds their summed estimated DRAM residency in simulated
+// words; excess load is shed with 429 + Retry-After. A client disconnect
+// cancels its run at the next frontier/iteration boundary.
+//
+// Usage:
+//
+//	sage-gen -kind rmat -logn 20 -deg 16 -out web.sg
+//	sage-serve -listen :8080 -dataset web=web.sg
+//	curl -X POST localhost:8080/v1/run/web/bfs -d '{"src": 0}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"sage"
+	"sage/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	modeName := flag.String("mode", "appdirect", "dram|appdirect|memorymode|nvramall")
+	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max runs in flight (0 = GOMAXPROCS)")
+	dramBudget := flag.Int64("dram-budget", 0, "aggregate DRAM budget for concurrent runs, in simulated words (0 = unlimited)")
+	datasetBudget := flag.Int64("dataset-budget", 0, "resident-dataset budget in simulated words; idle datasets beyond it are evicted (0 = unlimited)")
+	cacheEntries := flag.Int("cache-entries", 256, "result-cache capacity (negative disables)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget (0 = 64 MiB default)")
+	queueWait := flag.Duration("queue-wait", 0, "how long a run may wait for a concurrency slot before 429")
+	maxRun := flag.Duration("max-run", 0, "per-run execution limit (0 = unbounded)")
+	copyDatasets := flag.Bool("copy", false, "load datasets into private heap memory instead of memory-mapping")
+	preload := flag.Bool("preload", false, "open every dataset at startup instead of lazily")
+
+	type namedPath struct{ name, path string }
+	var datasets []namedPath
+	flag.Func("dataset", "name=path of a stored graph (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		datasets = append(datasets, namedPath{name, path})
+		return nil
+	})
+	flag.Parse()
+
+	// Positional paths: name = basename without extension.
+	for _, path := range flag.Args() {
+		base := filepath.Base(path)
+		datasets = append(datasets, namedPath{strings.TrimSuffix(base, filepath.Ext(base)), path})
+	}
+	if len(datasets) == 0 {
+		fmt.Fprintln(os.Stderr, "no datasets: pass -dataset name=path or positional graph paths")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	modes := map[string]sage.Mode{
+		"dram": sage.DRAM, "appdirect": sage.AppDirect,
+		"memorymode": sage.MemoryMode, "nvramall": sage.NVRAMAll,
+	}
+	mode, ok := modes[*modeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+	strategies := map[string]sage.Strategy{
+		"chunked": sage.Chunked, "blocked": sage.Blocked, "sparse": sage.Sparse,
+	}
+	strategy, ok := strategies[*strategyName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Engine:             sage.NewEngine(sage.WithMode(mode), sage.WithStrategy(strategy)),
+		MaxConcurrent:      *maxConcurrent,
+		DRAMBudgetWords:    *dramBudget,
+		DatasetBudgetWords: *datasetBudget,
+		ResultCacheEntries: *cacheEntries,
+		ResultCacheBytes:   *cacheBytes,
+		QueueWait:          *queueWait,
+		MaxRunDuration:     *maxRun,
+		CopyDatasets:       *copyDatasets,
+	})
+	names := make([]string, 0, len(datasets))
+	for _, d := range datasets {
+		if err := srv.AddDataset(d.name, d.path); err != nil {
+			fmt.Fprintln(os.Stderr, "dataset:", err)
+			os.Exit(2)
+		}
+		names = append(names, d.name)
+	}
+	if *preload {
+		// Warm the serving catalog itself: the datasets are resident
+		// before the first query, and a corrupt file fails the start
+		// instead of a request.
+		for _, d := range datasets {
+			if err := srv.Preload(d.name); err != nil {
+				fmt.Fprintf(os.Stderr, "preload %s: %v\n", d.name, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	// Bind before announcing, so "serving" in the log means reachable.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	log.Printf("sage-serve: %d dataset(s) [%s], %d algorithms, mode %s, serving on %s",
+		len(names), strings.Join(names, ", "), len(sage.AlgorithmNames()), *modeName, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("sage-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

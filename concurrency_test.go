@@ -3,6 +3,7 @@ package sage_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -79,6 +80,64 @@ func TestConcurrentRunsAggregate(t *testing.T) {
 	}
 	if agg.NVRAMWrites != 0 {
 		t.Fatalf("sage discipline violated under concurrency: %d NVRAM writes", agg.NVRAMWrites)
+	}
+}
+
+// TestStatsSnapshotDuringRuns pins the contract documented on
+// Engine.Stats: the aggregate may be snapshotted at any time, including
+// while runs are in flight — the serving layer's /metrics endpoint does
+// exactly that. Under -race this proves the absence of data races; the
+// assertions prove the promised monotonicity (no merge ever observed
+// half-applied as a decrease) and the final consistency with the
+// completed runs.
+func TestStatsSnapshotDuringRuns(t *testing.T) {
+	g := sage.GenerateRMAT(11, 8, 41)
+	e := sage.NewEngine(sage.WithMode(sage.AppDirect))
+
+	stop := make(chan struct{})
+	snapErr := make(chan error, 1)
+	go func() {
+		defer close(snapErr)
+		var prev sage.Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := e.Stats()
+			if s.PSAMCost < prev.PSAMCost || s.NVRAMReads < prev.NVRAMReads ||
+				s.DRAMWrites < prev.DRAMWrites || s.PeakDRAMWords < prev.PeakDRAMWords {
+				snapErr <- fmt.Errorf("aggregate went backwards: %+v then %+v", prev, s)
+				return
+			}
+			prev = s
+		}
+	}()
+
+	var wait sync.WaitGroup
+	const runs = 12
+	for i := 0; i < runs; i++ {
+		wait.Add(1)
+		go func(i int) {
+			defer wait.Done()
+			switch i % 3 {
+			case 0:
+				e.MustBFS(g, 0)
+			case 1:
+				e.MustConnectivity(g)
+			case 2:
+				e.MustKCore(g)
+			}
+		}(i)
+	}
+	wait.Wait()
+	close(stop)
+	if err, ok := <-snapErr; ok && err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats(); got.NVRAMReads == 0 || got.PSAMCost == 0 {
+		t.Fatalf("aggregate after %d runs: %+v", runs, got)
 	}
 }
 

@@ -1,0 +1,560 @@
+package sage_test
+
+// The differential safety net behind the serving layer: every registry
+// algorithm, invoked through the same public RunAlgorithm path sage-serve
+// dispatches to, cross-checked against the obviously-correct sequential
+// oracles of internal/refalgo (or validated structurally where outputs
+// are not unique) on seeded random graphs of several shapes — and on
+// every storage opening a served dataset can have: memory-mapped,
+// heap-copied, and byte-compressed. A registry algorithm without a
+// checker here fails the test, so the net grows with the registry.
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"sage"
+	"sage/internal/algos"
+	"sage/internal/graph"
+	"sage/internal/refalgo"
+)
+
+// oracles bundles one shape's reference inputs and lazily computed
+// sequential answers, shared by all three openings.
+type oracles struct {
+	g, wg, sc *graph.Graph // in-memory CSRs the references run on
+	numSets   uint32
+
+	bfsDist   []uint32
+	dijkstra  []int64
+	widest    []int64
+	bc        []float64
+	comps     []uint32
+	biconn    map[[2]uint32]int
+	coreness  []uint32
+	triangles int64
+	kcliques  int64
+	trussness map[[2]uint32]uint32
+	pagerank  []float64
+	ppr       []float64
+	density   float64
+}
+
+func newOracles(g, wg, sc *graph.Graph, numSets uint32) *oracles {
+	return &oracles{
+		g: g, wg: wg, sc: sc, numSets: numSets,
+		bfsDist:   refalgo.BFSDistances(g, 0),
+		dijkstra:  refalgo.Dijkstra(wg, 0),
+		widest:    refalgo.WidestPath(wg, 0),
+		bc:        refalgo.Betweenness(g, 0),
+		comps:     refalgo.Components(g, 0),
+		biconn:    refalgo.Biconnected(g),
+		coreness:  refalgo.Coreness(g),
+		triangles: refalgo.Triangles(g),
+		kcliques:  refalgo.KCliques(g, 4),
+		trussness: refalgo.Trussness(g),
+		pagerank:  refalgo.PageRank(g, 1e-10, 100),
+		ppr:       refalgo.PersonalizedPageRank(g, 0, 0.85, 1e-9, 100),
+		density:   refalgo.MaxDensity(g),
+	}
+}
+
+// value asserts the dynamic type of a registry result.
+func value[T any](t *testing.T, res *sage.AlgoResult) T {
+	t.Helper()
+	v, ok := res.Value.(T)
+	if !ok {
+		t.Fatalf("result has type %T, want %T", res.Value, v)
+	}
+	return v
+}
+
+func closeTo(a, b float64) bool { return math.Abs(a-b) <= 1e-8*(1+math.Abs(b)) }
+
+// checkers maps every registry algorithm to its differential check.
+var checkers = map[string]func(t *testing.T, o *oracles, res *sage.AlgoResult){
+	"bfs": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		parents := value[[]uint32](t, res)
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			if (parents[v] == algos.Infinity) != (o.bfsDist[v] == algos.Infinity) {
+				t.Fatalf("reachability mismatch at %d", v)
+			}
+			if parents[v] == algos.Infinity || v == 0 {
+				continue
+			}
+			if o.bfsDist[parents[v]]+1 != o.bfsDist[v] {
+				t.Fatalf("parent of %d (dist %d) is %d (dist %d)",
+					v, o.bfsDist[v], parents[v], o.bfsDist[parents[v]])
+			}
+			if !o.g.HasEdge(parents[v], v) {
+				t.Fatalf("parent edge (%d,%d) missing", parents[v], v)
+			}
+		}
+	},
+	"wbfs": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		dist := value[[]uint32](t, res)
+		for v, want := range o.dijkstra {
+			if want == math.MaxInt64 {
+				if dist[v] != algos.Infinity {
+					t.Fatalf("%d should be unreachable, got %d", v, dist[v])
+				}
+			} else if int64(dist[v]) != want {
+				t.Fatalf("dist[%d]=%d want %d", v, dist[v], want)
+			}
+		}
+	},
+	"bellmanford": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		dist := value[[]int64](t, res)
+		for v, want := range o.dijkstra {
+			if want == math.MaxInt64 {
+				if dist[v] != algos.InfDist {
+					t.Fatalf("%d should be unreachable", v)
+				}
+			} else if dist[v] != want {
+				t.Fatalf("dist[%d]=%d want %d", v, dist[v], want)
+			}
+		}
+	},
+	"widest":  checkWidest,
+	"widestb": checkWidest,
+	"bc": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		deps := value[[]float64](t, res)
+		for v, want := range o.bc {
+			if math.Abs(deps[v]-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("delta[%d]=%v want %v", v, deps[v], want)
+			}
+		}
+	},
+	"spanner": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		edges := value[[]sage.Edge](t, res)
+		for _, e := range edges {
+			if !o.g.HasEdge(e.U, e.V) {
+				t.Fatalf("spanner edge (%d,%d) not in G", e.U, e.V)
+			}
+		}
+		if int64(len(edges)) > 8*int64(o.g.NumVertices()) {
+			t.Fatalf("spanner too large: %d edges for n=%d", len(edges), o.g.NumVertices())
+		}
+		// Spanning: the spanner must induce exactly G's components.
+		h := graph.FromEdges(o.g.NumVertices(), edges, graph.BuildOpts{Symmetrize: true})
+		if !refalgo.SameComponents(o.comps, refalgo.Components(h, 0)) {
+			t.Fatal("spanner changes the component structure")
+		}
+	},
+	"ldd": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		ldd := value[*algos.LDDResult](t, res)
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			c := ldd.Cluster[v]
+			if c == algos.Infinity {
+				t.Fatalf("vertex %d unclustered", v)
+			}
+			if ldd.Cluster[c] != c {
+				t.Fatalf("center %d not in own cluster", c)
+			}
+			p := ldd.Parent[v]
+			if v != c {
+				if ldd.Cluster[p] != c {
+					t.Fatalf("parent of %d in different cluster", v)
+				}
+				if p != c && !o.g.HasEdge(p, v) {
+					t.Fatalf("parent edge (%d,%d) missing", p, v)
+				}
+			}
+		}
+	},
+	"cc": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		labels := value[[]uint32](t, res)
+		if !refalgo.SameComponents(o.comps, labels) {
+			t.Fatal("connectivity partition differs from union-find")
+		}
+	},
+	"forest": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		forest := value[[]sage.Edge](t, res)
+		distinct := map[uint32]bool{}
+		for _, c := range o.comps {
+			distinct[c] = true
+		}
+		if want := int(o.g.NumVertices()) - len(distinct); len(forest) != want {
+			t.Fatalf("forest has %d edges, want %d", len(forest), want)
+		}
+		parent := make([]uint32, o.g.NumVertices())
+		for i := range parent {
+			parent[i] = uint32(i)
+		}
+		var find func(x uint32) uint32
+		find = func(x uint32) uint32 {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, e := range forest {
+			if !o.g.HasEdge(e.U, e.V) {
+				t.Fatalf("forest edge (%d,%d) not in G", e.U, e.V)
+			}
+			a, b := find(e.U), find(e.V)
+			if a == b {
+				t.Fatalf("forest cycle through (%d,%d)", e.U, e.V)
+			}
+			parent[a] = b
+		}
+	},
+	"biconn": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		bc := value[*algos.BiconnResult](t, res)
+		got := map[[2]uint32]uint32{}
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			for _, u := range o.g.Neighbors(v) {
+				if v < u {
+					got[[2]uint32{v, u}] = bc.EdgeLabel(v, u)
+				}
+			}
+		}
+		if !refalgo.SamePartition(o.biconn, got) {
+			t.Fatal("biconnected partitions differ from Hopcroft-Tarjan")
+		}
+	},
+	"mis": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		in := value[[]bool](t, res)
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			hasIn := false
+			for _, u := range o.g.Neighbors(v) {
+				if in[u] {
+					hasIn = true
+					if in[v] {
+						t.Fatalf("adjacent MIS members %d,%d", v, u)
+					}
+				}
+			}
+			if !in[v] && !hasIn {
+				t.Fatalf("%d excluded but has no MIS neighbor", v)
+			}
+		}
+	},
+	"matching": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		match := value[[]sage.Edge](t, res)
+		used := make([]bool, o.g.NumVertices())
+		for _, e := range match {
+			if !o.g.HasEdge(e.U, e.V) {
+				t.Fatalf("matched edge (%d,%d) not in G", e.U, e.V)
+			}
+			if used[e.U] || used[e.V] {
+				t.Fatal("vertex reused in matching")
+			}
+			used[e.U], used[e.V] = true, true
+		}
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			for _, u := range o.g.Neighbors(v) {
+				if !used[v] && !used[u] {
+					t.Fatalf("edge (%d,%d) unmatched and free", v, u)
+				}
+			}
+		}
+	},
+	"coloring": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		colors := value[[]uint32](t, res)
+		maxDeg := o.g.MaxDegree()
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			if colors[v] > maxDeg {
+				t.Fatalf("color %d exceeds Delta=%d", colors[v], maxDeg)
+			}
+			for _, u := range o.g.Neighbors(v) {
+				if colors[u] == colors[v] {
+					t.Fatalf("edge (%d,%d) monochromatic", v, u)
+				}
+			}
+		}
+	},
+	"setcover": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		cover := value[[]uint32](t, res)
+		chosen := make([]bool, o.numSets)
+		for _, s := range cover {
+			if s >= o.numSets {
+				t.Fatalf("cover includes non-set %d", s)
+			}
+			chosen[s] = true
+		}
+		// Every coverable element (vertices >= numSets with a neighbor)
+		// must be covered by a chosen set.
+		for e := o.numSets; e < o.sc.NumVertices(); e++ {
+			nghs := o.sc.Neighbors(e)
+			if len(nghs) == 0 {
+				continue
+			}
+			covered := false
+			for _, s := range nghs {
+				if s < o.numSets && chosen[s] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("element %d uncovered", e)
+			}
+		}
+	},
+	"kcore": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		core := value[[]uint32](t, res)
+		for v, want := range o.coreness {
+			if core[v] != want {
+				t.Fatalf("core[%d]=%d want %d", v, core[v], want)
+			}
+		}
+	},
+	"densest": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		d := value[*algos.DensestResult](t, res)
+		if d.Density < o.density/(2*(1+0.05))-1e-9 {
+			t.Fatalf("density %.4f below the 2(1+eps) bound (certificate %.4f)", d.Density, o.density)
+		}
+		var inN, inArcs int64
+		for v := uint32(0); v < o.g.NumVertices(); v++ {
+			if !d.InSub[v] {
+				continue
+			}
+			inN++
+			for _, u := range o.g.Neighbors(v) {
+				if d.InSub[u] {
+					inArcs++
+				}
+			}
+		}
+		if inN == 0 {
+			t.Fatal("empty densest subgraph")
+		}
+		if got := float64(inArcs) / 2 / float64(inN); math.Abs(got-d.Density) > 1e-9 {
+			t.Fatalf("reported density %.6f but subgraph has %.6f", d.Density, got)
+		}
+	},
+	"tc": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		tr := value[*algos.TriangleResult](t, res)
+		if tr.Count != o.triangles {
+			t.Fatalf("%d triangles, want %d", tr.Count, o.triangles)
+		}
+	},
+	"pagerank-iter": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		next := value[[]float64](t, res)
+		n := int(o.g.NumVertices())
+		const d = 0.85
+		for v := 0; v < n; v++ {
+			var acc float64
+			for _, u := range o.g.Neighbors(uint32(v)) {
+				acc += (1 / float64(n)) / float64(o.g.Degree(u))
+			}
+			want := (1-d)/float64(n) + d*acc
+			if !closeTo(next[v], want) {
+				t.Fatalf("iter[%d]=%v want %v", v, next[v], want)
+			}
+		}
+	},
+	"pagerank": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		ranks := value[[]float64](t, res)
+		for v, want := range o.pagerank {
+			if !closeTo(ranks[v], want) {
+				t.Fatalf("pr[%d]=%v want %v", v, ranks[v], want)
+			}
+		}
+	},
+	"ppr": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		ranks := value[[]float64](t, res)
+		for v, want := range o.ppr {
+			if !closeTo(ranks[v], want) {
+				t.Fatalf("ppr[%d]=%v want %v", v, ranks[v], want)
+			}
+		}
+	},
+	"kclique": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		if got := value[int64](t, res); got != o.kcliques {
+			t.Fatalf("%d 4-cliques, want %d", got, o.kcliques)
+		}
+	},
+	"ktruss": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		kt := value[*algos.KTrussResult](t, res)
+		for e, want := range o.trussness {
+			got, ok := kt.EdgeTrussness(e[0], e[1])
+			if !ok {
+				t.Fatalf("edge %v missing from k-truss output", e)
+			}
+			if got != want {
+				t.Fatalf("edge %v trussness %d want %d", e, got, want)
+			}
+		}
+	},
+	"localcluster": func(t *testing.T, o *oracles, res *sage.AlgoResult) {
+		lc := value[*algos.LocalClusterResult](t, res)
+		if len(lc.Members) == 0 {
+			t.Fatal("empty cluster")
+		}
+		hasSeed := false
+		inSet := map[uint32]bool{}
+		var vol, cut int64
+		for _, v := range lc.Members {
+			if v >= o.g.NumVertices() {
+				t.Fatalf("member %d out of range", v)
+			}
+			hasSeed = hasSeed || v == 0
+			inSet[v] = true
+		}
+		if !hasSeed {
+			t.Fatal("cluster omits the seed")
+		}
+		for v := range inSet {
+			vol += int64(o.g.Degree(v))
+			for _, u := range o.g.Neighbors(v) {
+				if !inSet[u] {
+					cut++
+				}
+			}
+		}
+		if vol == 0 {
+			if lc.Conductance != 1 {
+				t.Fatalf("degenerate cluster conductance %v, want 1", lc.Conductance)
+			}
+			return
+		}
+		total := int64(o.g.NumEdges())
+		denom := vol
+		if total-vol < denom {
+			denom = total - vol
+		}
+		if denom <= 0 {
+			return // cluster swallowed the component; conductance unchecked
+		}
+		want := float64(cut) / float64(denom)
+		if math.Abs(want-lc.Conductance) > 1e-9 {
+			t.Fatalf("reported conductance %.6f but cut/vol gives %.6f", lc.Conductance, want)
+		}
+	},
+}
+
+func checkWidest(t *testing.T, o *oracles, res *sage.AlgoResult) {
+	widths := value[[]int64](t, res)
+	for v, want := range o.widest {
+		switch want {
+		case math.MinInt64:
+			if widths[v] != algos.NegInf {
+				t.Fatalf("%d should be unreachable", v)
+			}
+		case math.MaxInt64:
+			if widths[v] != algos.InfDist {
+				t.Fatalf("src width wrong at %d", v)
+			}
+		default:
+			if widths[v] != want {
+				t.Fatalf("width[%d]=%d want %d", v, widths[v], want)
+			}
+		}
+	}
+}
+
+// setCoverInstance derives the bipartite instance the way the harness
+// does: every vertex is a set covering its neighborhood.
+func setCoverInstance(g *sage.Graph) (*sage.Graph, uint32) {
+	raw := g.RawCSR()
+	n := raw.NumVertices()
+	edges := make([]sage.Edge, 0, raw.NumEdges())
+	for v := uint32(0); v < n; v++ {
+		for _, u := range raw.Neighbors(v) {
+			edges = append(edges, sage.Edge{U: v, V: n + u})
+		}
+	}
+	return sage.FromEdges(2*n, edges), n
+}
+
+// persistAndOpen saves g (optionally compressed) and reopens it with the
+// requested storage path, registering cleanup.
+func persistAndOpen(t *testing.T, dir, name string, g *sage.Graph, compress, copyOpen bool) *sage.Graph {
+	t.Helper()
+	if compress {
+		g = g.Compress(64)
+	}
+	path := filepath.Join(dir, name+".sg")
+	if err := sage.Create(path, g); err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	var opts []sage.OpenOption
+	if copyOpen {
+		opts = append(opts, sage.WithCopy())
+	}
+	opened, err := sage.Open(path, opts...)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	t.Cleanup(func() { opened.Close() })
+	if compress && !opened.Compressed() {
+		t.Fatalf("%s: compressed graph reopened uncompressed", name)
+	}
+	if !copyOpen && !opened.Mapped() {
+		t.Fatalf("%s: binary open not memory-mapped", name)
+	}
+	return opened
+}
+
+// TestDifferentialRegistry is the randomized differential suite: every
+// registry algorithm against its oracle, on several seeded graph shapes,
+// for every storage opening. Runs under -race in CI.
+func TestDifferentialRegistry(t *testing.T) {
+	shapes := []struct {
+		name  string
+		build func() *sage.Graph
+	}{
+		{"rmat", func() *sage.Graph { return sage.GenerateRMAT(9, 8, 0xd1f) }},
+		{"powerlaw", func() *sage.Graph { return sage.GeneratePowerLaw(500, 4, 0xd2f) }},
+		{"erdos", func() *sage.Graph { return sage.GenerateErdosRenyi(400, 1500, 0xd3f) }},
+		{"grid", func() *sage.Graph { return sage.GenerateGrid(20, 20, false) }},
+	}
+	// Every registry entry must have a checker — a new algorithm cannot
+	// land without joining the differential net.
+	for _, name := range sage.AlgorithmNames() {
+		if checkers[name] == nil {
+			t.Fatalf("registry algorithm %q has no differential checker", name)
+		}
+	}
+
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			g := sh.build()
+			wg := weighted(t, g, 0xbeef)
+			sc, numSets := setCoverInstance(g)
+			o := newOracles(g.RawCSR(), wg.RawCSR(), sc.RawCSR(), numSets)
+			dir := t.TempDir()
+
+			openings := []struct {
+				name               string
+				compress, copyOpen bool
+			}{
+				{"mmap", false, false},
+				{"copy", false, true},
+				{"compressed", true, false},
+			}
+			for _, op := range openings {
+				t.Run(op.name, func(t *testing.T) {
+					g2 := persistAndOpen(t, dir, "g-"+op.name, g, op.compress, op.copyOpen)
+					wg2 := persistAndOpen(t, dir, "wg-"+op.name, wg, op.compress, op.copyOpen)
+					sc2 := persistAndOpen(t, dir, "sc-"+op.name, sc, op.compress, op.copyOpen)
+					e := sage.NewEngine()
+					for _, a := range sage.Algorithms() {
+						t.Run(a.Name, func(t *testing.T) {
+							input, args := g2, sage.AlgoArgs{}
+							if a.Weighted {
+								input = wg2
+							}
+							if a.SetCover {
+								input, args.NumSets = sc2, numSets
+							}
+							if a.Name == "pagerank" {
+								args.Eps = 1e-10 // match the oracle's threshold
+							}
+							res, err := e.RunAlgorithm(context.Background(), a.Name, input, args)
+							if err != nil {
+								t.Fatalf("run: %v", err)
+							}
+							checkers[a.Name](t, o, res)
+						})
+					}
+				})
+			}
+		})
+	}
+}

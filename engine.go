@@ -184,8 +184,18 @@ func statsOf(t psam.Counts, peak int64, cfg psam.Config) Stats {
 }
 
 // Stats returns the counters aggregated over all completed runs (counter
-// fields sum; PeakDRAMWords is the maximum over runs). It may be called
-// concurrently with runs; in-flight runs contribute when they complete.
+// fields sum; PeakDRAMWords is the maximum over runs).
+//
+// Stats is safe to call at any time, including concurrently with runs in
+// flight — the monitoring path of a long-lived service polls it while
+// request runs execute. The aggregate is maintained with atomics and a
+// run merges its totals exactly once, at call completion (cancelled runs
+// included), so a snapshot never observes a torn per-field value and
+// every field is monotonically non-decreasing between ResetStats calls.
+// Fields are loaded individually, so one snapshot may interleave with a
+// concurrent merge (e.g. reflect a completing run's NVRAM reads but not
+// yet its DRAM writes); each field is still exact at the instant it was
+// read. TestStatsSnapshotDuringRuns pins this contract under -race.
 func (e *Engine) Stats() Stats {
 	return statsOf(e.agg.Totals(), e.agg.Peak(), e.cfg.psamCfg)
 }

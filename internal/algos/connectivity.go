@@ -1,6 +1,8 @@
 package algos
 
 import (
+	"sync/atomic"
+
 	"sage/internal/graph"
 	"sage/internal/parallel"
 )
@@ -73,10 +75,18 @@ func lddWithBudget(g graph.Adj, o *Options, seed uint64) (*LDDResult, int64) {
 // (used by spanning forest and the spanner).
 func contract(g graph.Adj, o *Options, cluster []uint32, inter int64, witness *parallel.HashMap64) (*graph.Graph, []uint32, []uint32) {
 	n := int(g.NumVertices())
-	// Dense ids for centers.
-	isCenter := make([]bool, n)
-	parallel.For(n, 0, func(i int) { isCenter[cluster[i]] = true })
-	centers := parallel.PackIndex(n, func(i int) bool { return isCenter[i] })
+	// Dense ids for centers. Marking is idempotent but concurrent —
+	// many vertices share a center — so the flag writes must be atomic
+	// for the Go memory model (the loop join orders the plain reads
+	// after them); a load-first spares the cache line when already set.
+	isCenter := make([]uint32, n)
+	parallel.For(n, 0, func(i int) {
+		p := &isCenter[cluster[i]]
+		if atomic.LoadUint32(p) == 0 {
+			atomic.StoreUint32(p, 1)
+		}
+	})
+	centers := parallel.PackIndex(n, func(i int) bool { return isCenter[i] != 0 })
 	denseID := make([]uint32, n)
 	parallel.For(len(centers), 0, func(i int) { denseID[centers[i]] = uint32(i) })
 

@@ -121,9 +121,63 @@ type Spec struct {
 	// Validate, when non-nil, rejects argument combinations Run would
 	// panic on; dispatchers call it before Run and surface the error.
 	Validate func(a Args) error
+	// DRAMWords, when non-nil, estimates the peak small-memory residency
+	// of one run on an n-vertex, m-arc graph in words. Nil selects the
+	// O(n) default of Table 1; only the problems whose state is
+	// edge-proportional (triangle counting's oriented DAG, k-clique,
+	// k-truss's Θ(m)-word output) declare their own. Serving layers use
+	// the estimate for admission budgeting.
+	DRAMWords func(n, m uint64) int64
 	// Run invokes the algorithm under o and returns its result.
 	Run func(g graph.Adj, o *Options, a Args) Result
 }
+
+// Canonical normalizes a for s: parameters outside s's schema are zeroed
+// and zero-valued schema parameters are replaced by their documented
+// defaults. Two argument sets that select the same computation therefore
+// canonicalize to equal Args — the property result caches key on.
+func (s Spec) Canonical(a Args) Args {
+	var out Args
+	for _, p := range s.Args {
+		switch p.Name {
+		case "src":
+			out.Src = a.Src
+		case "k":
+			out.K = a.K
+			if out.K == 0 {
+				out.K = int(p.Default)
+			}
+		case "eps":
+			out.Eps = a.epsOr(p.Default)
+		case "maxiters":
+			out.MaxIters = a.itersOr(int(p.Default))
+		case "beta":
+			out.Beta = a.betaOr(p.Default)
+		case "damping":
+			out.Damping = a.dampingOr(p.Default)
+		case "numsets":
+			out.NumSets = a.NumSets
+		case "maxsize":
+			out.MaxSize = a.MaxSize
+		}
+	}
+	return out
+}
+
+// EstimateDRAMWords estimates the peak small-memory (DRAM) residency of
+// one run on an n-vertex, m-arc graph in words: the spec's own estimator
+// when declared, else a vertex-proportional default covering the handful
+// of n-length arrays plus traversal scratch that the Table 1 algorithms
+// keep resident.
+func (s Spec) EstimateDRAMWords(n, m uint64) int64 {
+	if s.DRAMWords != nil {
+		return s.DRAMWords(n, m)
+	}
+	return int64(16 * n)
+}
+
+// edgeStateDRAMWords is the estimator for the edge-proportional problems.
+func edgeStateDRAMWords(n, m uint64) int64 { return int64(m + 8*n) }
 
 // Common parameter specs.
 var (
@@ -313,7 +367,8 @@ var registry = []Spec{
 	},
 	{
 		Name: "tc", Title: "Triangle-Count", Fig1: true,
-		Doc: "triangle count with work counters (§4.3.5)",
+		Doc:       "triangle count with work counters (§4.3.5)",
+		DRAMWords: edgeStateDRAMWords,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			res := TriangleCount(g, o)
 			return Result{res, fmt.Sprintf("%d triangles (intersection work %d, total work %d)",
@@ -365,8 +420,9 @@ var registry = []Spec{
 	},
 	{
 		Name: "kclique", Title: "k-Clique",
-		Doc:  "k-clique count over the degree-ordered DAG (§3.2)",
-		Args: []ArgSpec{{Name: "k", Kind: ArgInt, Default: 4, Doc: "clique size (>= 3)"}},
+		Doc:       "k-clique count over the degree-ordered DAG (§3.2)",
+		Args:      []ArgSpec{{Name: "k", Kind: ArgInt, Default: 4, Doc: "clique size (>= 3)"}},
+		DRAMWords: edgeStateDRAMWords,
 		Validate: func(a Args) error {
 			if a.K != 0 && a.K < 3 {
 				return fmt.Errorf("kclique requires k >= 3 (got %d)", a.K)
@@ -385,6 +441,10 @@ var registry = []Spec{
 	{
 		Name: "ktruss", Title: "k-Truss",
 		Doc: "trussness of every edge (§3.2; Theta(m)-word output)",
+		// Θ(m) small memory is the PSAM boundary the paper draws for this
+		// problem (§3.2): support counters and the trussness output are
+		// both edge-proportional.
+		DRAMWords: func(n, m uint64) int64 { return int64(3*m + 8*n) },
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			res := KTruss(g, o)
 			maxT := uint32(0)

@@ -273,6 +273,11 @@ func FromParts(n uint32, m uint64, offsets []uint64, edges []uint32, weights []i
 	if weights != nil && uint64(len(weights)) != m {
 		return nil, fmt.Errorf("graph: %d weights for m=%d", len(weights), m)
 	}
+	if offsets[0] != 0 {
+		// A nonzero base would make edges[0:offsets[0]] unreachable dead
+		// payload and the degree sum disagree with m.
+		return nil, fmt.Errorf("graph: offsets start at %d, want 0", offsets[0])
+	}
 	if offsets[n] != m {
 		return nil, fmt.Errorf("graph: offsets end %d != m %d", offsets[n], m)
 	}

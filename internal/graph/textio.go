@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 )
 
@@ -47,8 +48,13 @@ func (g *Graph) WriteText(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadText parses a Ligra adjacency-graph text stream.
+// ReadText parses a Ligra adjacency-graph text stream. As in ReadBinary,
+// the declared n and m are validated against the number of input bytes
+// actually remaining (discoverable for files and in-memory readers)
+// before any array allocation, so a corrupt header yields an error
+// instead of a multi-gigabyte allocation attempt.
 func ReadText(r io.Reader) (*Graph, error) {
+	remaining, sized := remainingSize(r)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	next := func() (string, error) {
@@ -92,6 +98,22 @@ func ReadText(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: edge count: %w", err)
 	}
+	if nv > math.MaxUint32 {
+		return nil, fmt.Errorf("graph: vertex count %d exceeds uint32", nv)
+	}
+	// Every offset, edge, and weight needs at least two input bytes (a
+	// digit and a separator), so a sized input bounds the plausible n+m.
+	entries := nv + m
+	if weighted {
+		entries += m
+	}
+	if nv > math.MaxInt64/4 || m > math.MaxInt64/4 {
+		return nil, fmt.Errorf("graph: implausible counts n=%d m=%d", nv, m)
+	}
+	if sized && int64(entries) > remaining/2+1 {
+		return nil, fmt.Errorf("graph: header claims n=%d m=%d but only %d bytes follow",
+			nv, m, remaining)
+	}
 	g := &Graph{n: uint32(nv), m: m}
 	g.offsets = make([]uint64, nv+1)
 	for v := uint64(0); v < nv; v++ {
@@ -102,6 +124,11 @@ func ReadText(r io.Reader) (*Graph, error) {
 		g.offsets[v] = off
 	}
 	g.offsets[nv] = m
+	if nv > 0 && g.offsets[0] != 0 {
+		// A nonzero base would leave edges[0:offsets[0]] unreachable and
+		// the degree sum short of m.
+		return nil, fmt.Errorf("graph: offsets start at %d, want 0", g.offsets[0])
+	}
 	g.edges = make([]uint32, m)
 	for i := uint64(0); i < m; i++ {
 		e, err := readUint()

@@ -6,6 +6,10 @@ package harness
 // memory-mapped on subsequent runs — the graphs are then consumed in
 // place from storage, which is the system configuration the paper
 // benchmarks in the first place (graph on NVRAM, state in DRAM).
+//
+// The opened datasets are held in the shared store.Cache — the same
+// refcounted cache the serving layer's catalog uses — so repeated
+// NewWorkload calls at one scale share a single mapping.
 
 import (
 	"fmt"
@@ -20,7 +24,8 @@ import (
 
 var cacheMu sync.Mutex
 var cacheDir string
-var cacheOpen []*store.Dataset
+var datasetCache = store.NewCache(0) // unlimited: benchmarks pin their workloads
+var cacheHeld []*store.Handle
 
 // SetWorkloadCache points NewWorkload at a directory of persisted
 // workloads (creating it if needed). An empty dir disables caching.
@@ -42,14 +47,11 @@ func SetWorkloadCache(dir string) error {
 func CloseWorkloadCache() error {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	var first error
-	for _, ds := range cacheOpen {
-		if err := ds.Close(); err != nil && first == nil {
-			first = err
-		}
+	for _, h := range cacheHeld {
+		h.Release()
 	}
-	cacheOpen = nil
-	return first
+	cacheHeld = nil
+	return datasetCache.Clear()
 }
 
 // cachedWorkload loads (or builds and best-effort persists) the workload
@@ -61,31 +63,40 @@ func cachedWorkload(scale int, dir string) *Workload {
 		paths[i] = filepath.Join(dir, fmt.Sprintf("rmat-s%d-%s.sg", scale, name))
 	}
 	graphs := make([]*graph.Graph, len(names))
-	var opened []*store.Dataset
+	var held []*store.Handle
 	hit := true
 	for i, p := range paths {
-		ds, err := store.Open(p, store.OpenOptions{})
+		h, err := datasetCache.Acquire(p, store.OpenOptions{})
 		if err != nil {
 			hit = false
 			break
 		}
-		if ds.CSR() == nil {
-			ds.Close()
+		if h.Dataset().CSR() == nil {
+			h.Release()
 			hit = false
 			break
 		}
-		opened = append(opened, ds)
-		graphs[i] = ds.CSR()
+		held = append(held, h)
+		graphs[i] = h.Dataset().CSR()
 	}
 	if hit {
 		cacheMu.Lock()
-		cacheOpen = append(cacheOpen, opened...)
+		cacheHeld = append(cacheHeld, held...)
 		cacheMu.Unlock()
 		return &Workload{Scale: scale, G: graphs[0], WG: graphs[1],
 			SetCover: graphs[2], NumSets: graphs[0].NumVertices()}
 	}
-	for _, ds := range opened {
-		ds.Close()
+	for _, h := range held {
+		h.Release()
+	}
+	// Best-effort: drop idle mappings of these paths before the files
+	// are rewritten below. Entries another goroutine still references
+	// survive (store.Create replaces the path by rename, so a live
+	// mapping keeps the old inode — never corruption), and a stale hit
+	// on such an entry is harmless because the workload content is
+	// deterministic in (scale, seed): old and new bytes are identical.
+	for _, p := range paths {
+		datasetCache.Evict(p)
 	}
 	// Miss: build in memory and persist for the next run. Persisting is
 	// best-effort — the workload was just generated at full cost, so a

@@ -1,0 +1,129 @@
+package server
+
+// Admission control: the service bounds in-flight work with two gates,
+// both checked before a run starts.
+//
+// The first is a plain semaphore on concurrent runs — the parallel worker
+// pool is shared, so beyond a small multiple of the core count extra runs
+// only add latency.
+//
+// The second is the PSAM-aware gate: Sage's semi-asymmetric design keeps
+// each run's mutable state small-memory (DRAM) resident, and a server
+// running many algorithms at once must keep the *sum* of those residencies
+// under what DRAM can hold — the aggregate form of the paper's per-run
+// small-memory bound. Each run is charged its estimated peak DRAM words
+// (sage.EstimateDRAMWords: vertex-proportional for the Table 1 problems,
+// edge-proportional for tc/kclique/ktruss) against a configurable budget;
+// when the next run would overflow it, the service sheds load with 429 +
+// Retry-After instead of letting concurrent runs thrash.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the two-gate controller. The zero value is unusable; use
+// newAdmission.
+type admission struct {
+	slots     chan struct{}
+	budget    int64 // DRAM words; 0 = unlimited
+	queueWait time.Duration
+
+	mu            sync.Mutex
+	inflightWords int64
+	inflightRuns  int
+
+	rejectedSlots atomic.Int64
+	rejectedWords atomic.Int64
+}
+
+func newAdmission(maxConcurrent int, budgetWords int64, queueWait time.Duration) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxConcurrent),
+		budget:    budgetWords,
+		queueWait: queueWait,
+	}
+}
+
+// admit reserves a concurrency slot and words of the DRAM budget. On
+// success it returns the release callback; on refusal it names the gate
+// ("concurrency" or "dram") for the error body. ctx bounds the optional
+// queue wait for a slot; admission never blocks longer than queueWait.
+func (a *admission) admit(ctx context.Context, words int64) (release func(), gate string, ok bool) {
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		if a.queueWait <= 0 {
+			if ctx.Err() != nil {
+				// Nothing was shed to a live client; see the queued path.
+				return nil, "abandoned", false
+			}
+			a.rejectedSlots.Add(1)
+			return nil, "concurrency", false
+		}
+		t := time.NewTimer(a.queueWait)
+		defer t.Stop()
+		select {
+		case a.slots <- struct{}{}:
+		case <-ctx.Done():
+			// The client abandoned the wait; nothing was shed and no run
+			// was cancelled, so no gate counter moves.
+			return nil, "abandoned", false
+		case <-t.C:
+			a.rejectedSlots.Add(1)
+			return nil, "concurrency", false
+		}
+	}
+
+	a.mu.Lock()
+	// A single run larger than the whole budget is admitted only when it
+	// would run alone: the budget sheds aggregate overload, it does not
+	// permanently ban big-footprint algorithms on big graphs.
+	if a.budget > 0 && a.inflightWords+words > a.budget && a.inflightRuns > 0 {
+		a.mu.Unlock()
+		<-a.slots
+		a.rejectedWords.Add(1)
+		return nil, "dram", false
+	}
+	a.inflightWords += words
+	a.inflightRuns++
+	a.mu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflightWords -= words
+			a.inflightRuns--
+			a.mu.Unlock()
+			<-a.slots
+		})
+	}, "", true
+}
+
+// snapshot returns the controller's current gauges and counters.
+func (a *admission) snapshot() admissionStats {
+	a.mu.Lock()
+	runs, words := a.inflightRuns, a.inflightWords
+	a.mu.Unlock()
+	return admissionStats{
+		MaxConcurrent:      cap(a.slots),
+		DRAMBudgetWords:    a.budget,
+		InflightRuns:       runs,
+		InflightDRAMWords:  words,
+		RejectedConcurrent: a.rejectedSlots.Load(),
+		RejectedDRAM:       a.rejectedWords.Load(),
+	}
+}
+
+// admissionStats is the /metrics view of the controller.
+type admissionStats struct {
+	MaxConcurrent      int   `json:"max_concurrent"`
+	DRAMBudgetWords    int64 `json:"dram_budget_words"`
+	InflightRuns       int   `json:"inflight_runs"`
+	InflightDRAMWords  int64 `json:"inflight_dram_words"`
+	RejectedConcurrent int64 `json:"rejected_concurrency"`
+	RejectedDRAM       int64 `json:"rejected_dram"`
+}

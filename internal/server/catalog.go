@@ -1,0 +1,132 @@
+package server
+
+// The dataset catalog: a fixed set of named stored graphs, opened lazily
+// through the shared store.Cache on first request and shared — usually as
+// one memory mapping — across every concurrent run that names them. The
+// cache's word budget bounds how many datasets stay resident; idle ones
+// are LRU-evicted and transparently reopened (with a bumped generation)
+// when named again. Refcounting guarantees a dataset is never unmapped
+// under a run in flight.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"sage/internal/store"
+)
+
+// errUnknownDataset distinguishes a 404 from an open failure (500).
+var errUnknownDataset = errors.New("unknown dataset")
+
+type catalog struct {
+	mu    sync.Mutex
+	paths map[string]string // name -> path
+	cache *store.Cache
+	opts  store.OpenOptions
+}
+
+func newCatalog(budgetWords int64, copyOpen bool) *catalog {
+	return &catalog{
+		paths: map[string]string{},
+		cache: store.NewCache(budgetWords),
+		opts:  store.OpenOptions{Copy: copyOpen},
+	}
+}
+
+// add registers name -> path. The file must exist now (catching typos at
+// startup), but it is decoded lazily on first request.
+func (c *catalog) add(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("empty dataset name")
+	}
+	for _, r := range name {
+		if r == '/' || r == '?' || r == '#' || r == '%' {
+			return fmt.Errorf("dataset name %q: %q not allowed (names are URL path segments)", name, r)
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("dataset %q: %w", name, err)
+	}
+	if info.IsDir() {
+		return fmt.Errorf("dataset %q: %s is a directory", name, path)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.paths[name]; dup {
+		return fmt.Errorf("dataset %q registered twice", name)
+	}
+	c.paths[name] = path
+	return nil
+}
+
+// acquire returns a refcounted handle on the named dataset, opening it if
+// needed. The caller must Release it when the run completes.
+func (c *catalog) acquire(name string) (*store.Handle, error) {
+	c.mu.Lock()
+	path, ok := c.paths[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", errUnknownDataset, name)
+	}
+	return c.cache.Acquire(path, c.opts)
+}
+
+// datasetInfo is one /v1/datasets entry. The graph-shape fields are
+// populated only for datasets currently open — listing never forces a
+// lazy open.
+type datasetInfo struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	Open       bool   `json:"open"`
+	Generation uint64 `json:"generation,omitempty"`
+	Vertices   uint32 `json:"vertices,omitempty"`
+	Edges      uint64 `json:"edges,omitempty"`
+	Weighted   bool   `json:"weighted,omitempty"`
+	Compressed bool   `json:"compressed,omitempty"`
+	Mapped     bool   `json:"mapped,omitempty"`
+	SizeWords  int64  `json:"size_words,omitempty"`
+}
+
+// list returns the catalog sorted by name.
+func (c *catalog) list() []datasetInfo {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.paths))
+	for name := range c.paths {
+		names = append(names, name)
+	}
+	paths := make(map[string]string, len(c.paths))
+	for name, path := range c.paths {
+		paths[name] = path
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+
+	out := make([]datasetInfo, 0, len(names))
+	for _, name := range names {
+		info := datasetInfo{Name: name, Path: paths[name]}
+		if h, ok := c.cache.AcquireCached(paths[name]); ok {
+			ds := h.Dataset()
+			info.Open = true
+			info.Generation = h.Generation()
+			info.Vertices = ds.Adj().NumVertices()
+			info.Edges = ds.Adj().NumEdges()
+			info.Weighted = ds.Adj().Weighted()
+			info.Compressed = ds.CSR() == nil
+			info.Mapped = ds.Mapped()
+			info.SizeWords = ds.SizeWords()
+			h.Release()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// close releases every idle dataset.
+func (c *catalog) close() error { return c.cache.Clear() }
+
+// cacheInfo exposes the dataset cache counters for /metrics.
+func (c *catalog) cacheInfo() store.CacheInfo { return c.cache.Info() }

@@ -1,0 +1,136 @@
+package server
+
+// Result cache: graph analytics answers are immutable for a given
+// (dataset generation, algorithm, arguments) triple — the graph is a
+// read-only structure and every registry algorithm is deterministic in
+// the engine's fixed seed — so the service can answer repeats without
+// re-running. Keys embed the dataset's open generation, so an evicted
+// and reopened (possibly rewritten) file never serves stale answers, and
+// arguments are canonicalized first (sage.CanonicalArgs), so {"eps":0}
+// and {} hit the same entry.
+//
+// Capacity is bounded twice: by entry count and by total response bytes
+// — cached values retain full Θ(n)/Θ(m) result arrays, so an entry cap
+// alone would let a few hundred big-graph answers pin gigabytes of heap
+// and dwarf the DRAM budget the admission controller enforces. A single
+// response larger than a quarter of the byte budget is not cached at
+// all: one giant answer must not wipe the whole cache.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+type resultCache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	byKey    map[string]*list.Element
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// resultEntry retains only pre-marshaled bytes — the full response and
+// the value-less rendering served for ?value=false — so the byte budget
+// covers everything the entry pins: no unserialized Θ(n)/Θ(m) result
+// arrays ride along uncounted.
+type resultEntry struct {
+	key  string
+	body []byte // full response
+	slim []byte // value omitted
+}
+
+func (e *resultEntry) size() int64 { return int64(len(e.body) + len(e.slim)) }
+
+// defaultResultCacheBytes bounds the cache when the config leaves the
+// byte budget zero.
+const defaultResultCacheBytes = 64 << 20
+
+// newResultCache returns an LRU cache of up to max entries and maxBytes
+// summed response bytes, or nil (caching disabled; the nil methods below
+// are safe) when max <= 0.
+func newResultCache(max int, maxBytes int64) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultResultCacheBytes
+	}
+	return &resultCache{max: max, maxBytes: maxBytes, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached renderings for key (full and value-less). Both
+// must be treated as read-only.
+func (c *resultCache) get(key string) (body, slim []byte, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.byKey[key]
+	if !found {
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	e := el.Value.(*resultEntry)
+	return e.body, e.slim, true
+}
+
+// put stores both marshaled renderings under key, evicting LRU entries
+// beyond either capacity bound.
+func (c *resultCache) put(key string, body, slim []byte) {
+	e := &resultEntry{key: key, body: body, slim: slim}
+	if c == nil || e.size() > c.maxBytes/4 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		old := el.Value.(*resultEntry)
+		c.bytes += e.size() - old.size()
+		old.body, old.slim = body, slim
+		c.ll.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.ll.PushFront(e)
+		c.bytes += e.size()
+	}
+	for c.ll.Len() > c.max || c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		old := oldest.Value.(*resultEntry)
+		c.ll.Remove(oldest)
+		delete(c.byKey, old.key)
+		c.bytes -= old.size()
+	}
+}
+
+// resultCacheStats is the /metrics view of the cache.
+type resultCacheStats struct {
+	Entries    int   `json:"entries"`
+	Capacity   int   `json:"capacity"`
+	Bytes      int64 `json:"bytes"`
+	BytesLimit int64 `json:"bytes_limit"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+}
+
+func (c *resultCache) snapshot() resultCacheStats {
+	if c == nil {
+		return resultCacheStats{}
+	}
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return resultCacheStats{
+		Entries:    entries,
+		Capacity:   c.max,
+		Bytes:      bytes,
+		BytesLimit: c.maxBytes,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+	}
+}

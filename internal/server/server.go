@@ -1,0 +1,439 @@
+// Package server implements sage-serve: a long-lived HTTP service that
+// keeps a catalog of stored graphs resident (mmap-shared, in the spirit
+// of semi-external engines like FlashGraph/Graphyti — the graph lives on
+// cheap storage, queries touch it in place) and exposes every registry
+// algorithm as a request endpoint.
+//
+// Request model: each POST /v1/run/{dataset}/{algo} becomes one Engine
+// Run — private PSAM counters, cancellation wired to the HTTP request
+// context, totals merged into the server engine's aggregate that
+// /metrics surfaces. Before a run starts it must pass admission: a
+// semaphore bounding concurrent runs and a DRAM-word budget bounding the
+// summed small-memory residency of everything in flight (the aggregate
+// form of Sage's per-run small-memory bound); overload is shed with
+// 429 + Retry-After. Identical repeat queries are answered from an LRU
+// result cache keyed by (dataset generation, algorithm, canonicalized
+// args).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"sage"
+)
+
+// Config configures New. The zero value serves with an AppDirect engine,
+// GOMAXPROCS concurrent runs, and no budgets.
+type Config struct {
+	// Engine runs the algorithms; nil builds sage.NewEngine() defaults.
+	Engine *sage.Engine
+	// MaxConcurrent bounds runs in flight (<= 0: GOMAXPROCS).
+	MaxConcurrent int
+	// DRAMBudgetWords caps the summed estimated DRAM residency of
+	// concurrent runs in simulated words (0: unlimited).
+	DRAMBudgetWords int64
+	// DatasetBudgetWords caps the summed SizeWords of resident datasets;
+	// idle ones beyond it are LRU-evicted (0: unlimited).
+	DatasetBudgetWords int64
+	// ResultCacheEntries sizes the result cache (0: default 256; < 0:
+	// disabled).
+	ResultCacheEntries int
+	// ResultCacheBytes caps the summed marshaled size of cached
+	// responses (0: default 64 MiB). Responses bigger than a quarter of
+	// the budget are never cached.
+	ResultCacheBytes int64
+	// QueueWait is how long an arriving run may wait for a concurrency
+	// slot before being shed (0: shed immediately).
+	QueueWait time.Duration
+	// MaxRunDuration bounds a single run's execution; exceeding it
+	// cancels the run and answers 504 (0: unbounded).
+	MaxRunDuration time.Duration
+	// CopyDatasets opens datasets into private heap memory instead of
+	// memory-mapping them.
+	CopyDatasets bool
+}
+
+// Server is the sage-serve HTTP handler. Create with New, register
+// datasets with AddDataset, then serve it.
+type Server struct {
+	engine  *sage.Engine
+	catalog *catalog
+	adm     *admission
+	results *resultCache
+	maxRun  time.Duration
+	mux     *http.ServeMux
+	started time.Time
+
+	runsStarted   atomic.Int64
+	runsOK        atomic.Int64
+	runsFailed    atomic.Int64
+	runsCancelled atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	engine := cfg.Engine
+	if engine == nil {
+		engine = sage.NewEngine()
+	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc <= 0 {
+		maxConc = runtime.GOMAXPROCS(0)
+	}
+	cacheEntries := cfg.ResultCacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = 256
+	}
+	s := &Server{
+		engine:  engine,
+		catalog: newCatalog(cfg.DatasetBudgetWords, cfg.CopyDatasets),
+		adm:     newAdmission(maxConc, cfg.DRAMBudgetWords, cfg.QueueWait),
+		results: newResultCache(cacheEntries, cfg.ResultCacheBytes),
+		maxRun:  cfg.MaxRunDuration,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/run/{dataset}/{algo}", s.handleRun)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// AddDataset registers a stored graph under name. The file must exist;
+// it is opened lazily on first request.
+func (s *Server) AddDataset(name, path string) error { return s.catalog.add(name, path) }
+
+// Preload opens the named dataset through the serving catalog now, so
+// the first query finds it resident (and a corrupt file fails startup
+// instead of a request). The dataset stays cached under the usual LRU
+// budget rules.
+func (s *Server) Preload(name string) error {
+	h, err := s.catalog.acquire(name)
+	if err != nil {
+		return err
+	}
+	h.Release()
+	return nil
+}
+
+// Close releases every idle resident dataset. Call after the HTTP server
+// has shut down (no runs in flight).
+func (s *Server) Close() error { return s.catalog.close() }
+
+// ServeHTTP dispatches to the service endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine returns the serving engine (its Stats aggregate spans all runs).
+func (s *Server) Engine() *sage.Engine { return s.engine }
+
+// --------------------------------------------------------------------
+// Responses.
+// --------------------------------------------------------------------
+
+// runStats is the JSON rendering of a run's PSAM accounting.
+type runStats struct {
+	PSAMCost      int64 `json:"psam_cost"`
+	NVRAMReads    int64 `json:"nvram_reads"`
+	NVRAMWrites   int64 `json:"nvram_writes"`
+	DRAMReads     int64 `json:"dram_reads"`
+	DRAMWrites    int64 `json:"dram_writes"`
+	CacheHits     int64 `json:"cache_hits,omitempty"`
+	CacheMisses   int64 `json:"cache_misses,omitempty"`
+	PeakDRAMWords int64 `json:"peak_dram_words"`
+}
+
+func statsJSON(s sage.RunStats) runStats {
+	return runStats{
+		PSAMCost:      s.PSAMCost,
+		NVRAMReads:    s.NVRAMReads,
+		NVRAMWrites:   s.NVRAMWrites,
+		DRAMReads:     s.DRAMReads,
+		DRAMWrites:    s.DRAMWrites,
+		CacheHits:     s.CacheHits,
+		CacheMisses:   s.CacheMisses,
+		PeakDRAMWords: s.PeakDRAMWords,
+	}
+}
+
+// runResponse is the run endpoint's body. Value holds the algorithm's
+// raw output (pass ?value=false to omit it for large graphs). Whether
+// the answer came from the result cache is reported in the X-Sage-Cache
+// response header (hit/miss), keeping hit and miss bodies byte-identical
+// so cached bodies are written verbatim without re-marshaling.
+type runResponse struct {
+	Dataset    string        `json:"dataset"`
+	Generation uint64        `json:"generation"`
+	Algo       string        `json:"algo"`
+	Args       sage.AlgoArgs `json:"args"`
+	Summary    string        `json:"summary"`
+	Value      any           `json:"value,omitempty"`
+	Stats      runStats      `json:"stats"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	// Marshal before touching the header: an unserializable value (e.g.
+	// a result holding ±Inf) must surface as a 500, not as a 200 with an
+	// empty body.
+	body, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"response not serializable"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n')) // a failed write means the client is gone
+}
+
+// writeJSONBytes writes an already-marshaled body (the result cache's
+// stored form).
+func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+	w.Write([]byte{'\n'})
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --------------------------------------------------------------------
+// Handlers.
+// --------------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.started).Seconds(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.catalog.list()})
+}
+
+// algorithmInfo mirrors sage.Algorithm with wire-stable JSON names; the
+// params double as the run endpoint's args schema.
+type algorithmInfo struct {
+	Name     string           `json:"name"`
+	Title    string           `json:"title"`
+	Doc      string           `json:"doc"`
+	Weighted bool             `json:"weighted,omitempty"`
+	SetCover bool             `json:"setcover,omitempty"`
+	Params   []algorithmParam `json:"params,omitempty"`
+}
+
+type algorithmParam struct {
+	Name    string  `json:"name"`
+	Kind    string  `json:"kind"`
+	Default float64 `json:"default"`
+	Doc     string  `json:"doc"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	algos := sage.Algorithms()
+	out := make([]algorithmInfo, len(algos))
+	for i, a := range algos {
+		params := make([]algorithmParam, len(a.Params))
+		for j, p := range a.Params {
+			params[j] = algorithmParam{Name: p.Name, Kind: p.Kind.String(), Default: p.Default, Doc: p.Doc}
+		}
+		out[i] = algorithmInfo{
+			Name: a.Name, Title: a.Title, Doc: a.Doc,
+			Weighted: a.Weighted, SetCover: a.SetCover, Params: params,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
+// decodeArgs parses the request body into args. An empty body selects
+// all defaults; unknown fields and malformed JSON are client errors.
+func decodeArgs(r *http.Request, args *sage.AlgoArgs) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(args); err != nil {
+		return fmt.Errorf("args: %w (schema: see /v1/algorithms)", err)
+	}
+	// Exactly one JSON value: concatenated objects or trailing garbage
+	// mean a corrupted body, not arguments to silently truncate.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("args: unexpected data after the JSON object")
+	}
+	return nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	dsName := r.PathValue("dataset")
+	algoName := r.PathValue("algo")
+	includeValue := r.URL.Query().Get("value") != "false"
+
+	var args sage.AlgoArgs
+	if err := decodeArgs(r, &args); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	canon, err := sage.CanonicalArgs(algoName, args)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	h, err := s.catalog.acquire(dsName)
+	if errors.Is(err, errUnknownDataset) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "opening dataset %q: %v", dsName, err)
+		return
+	}
+	defer h.Release() // keeps the mapping pinned for the whole run
+	g := sage.GraphFromDataset(h.Dataset())
+
+	key := fmt.Sprintf("%s@%d/%s?%+v", dsName, h.Generation(), algoName, canon)
+	if body, slim, ok := s.results.get(key); ok {
+		w.Header().Set("X-Sage-Cache", "hit")
+		if !includeValue {
+			body = slim
+		}
+		writeJSONBytes(w, http.StatusOK, body)
+		return
+	}
+
+	words, _ := sage.EstimateDRAMWords(algoName, g) // algoName validated above
+	release, gate, ok := s.adm.admit(r.Context(), words)
+	if !ok {
+		if r.Context().Err() != nil {
+			// Client gone while queued: no run started and nothing was
+			// shed, so neither runs.cancelled nor a rejection counts.
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"overloaded (%s limit): retry later", gate)
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	if s.maxRun > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.maxRun)
+		defer cancel()
+	}
+
+	s.runsStarted.Add(1)
+	start := time.Now()
+	res, err := s.engine.RunAlgorithm(ctx, algoName, g, canon)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// Client disconnect (or client-side timeout): the run was
+			// cancelled at its next checkpoint; the response is moot.
+			s.runsCancelled.Add(1)
+			writeError(w, statusClientClosedRequest, "run cancelled: %v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.runsFailed.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				"run exceeded the configured time limit (%s)", s.maxRun)
+		default:
+			// Remaining RunAlgorithm errors are argument misuse (missing
+			// numsets, out-of-range src, invalid k).
+			s.runsFailed.Add(1)
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	resp := runResponse{
+		Dataset:    dsName,
+		Generation: h.Generation(),
+		Algo:       algoName,
+		Args:       canon,
+		Summary:    res.Summary,
+		Value:      res.Value,
+		Stats:      statsJSON(res.Stats),
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+	}
+	// Marshal the response once per rendering: the bytes validate
+	// serializability before anything is cached (degenerate parameters
+	// could in principle drive float results to ±Inf, which JSON cannot
+	// carry), charge the cache's byte budget, serve this response, and
+	// serve every cache hit verbatim.
+	body, jerr := json.Marshal(resp)
+	if jerr != nil {
+		s.runsFailed.Add(1)
+		writeError(w, http.StatusUnprocessableEntity,
+			"result not representable in JSON (non-finite values?): %v", jerr)
+		return
+	}
+	resp.Value = nil
+	slim, jerr := json.Marshal(resp)
+	if jerr != nil { // unreachable: a subset of the value just marshaled
+		s.runsFailed.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", jerr)
+		return
+	}
+	s.runsOK.Add(1)
+	s.results.put(key, body, slim)
+	w.Header().Set("X-Sage-Cache", "miss")
+	if !includeValue {
+		body = slim
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// statusClientClosedRequest is nginx's conventional code for a request
+// the client abandoned; it is only ever written to a closed connection
+// but keeps access logs honest.
+const statusClientClosedRequest = 499
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	agg := s.engine.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.started).Seconds(),
+		// The engine aggregate is safe to snapshot with runs in flight;
+		// see Engine.Stats.
+		"engine": map[string]int64{
+			"psam_cost":       agg.PSAMCost,
+			"nvram_reads":     agg.NVRAMReads,
+			"nvram_writes":    agg.NVRAMWrites,
+			"dram_reads":      agg.DRAMReads,
+			"dram_writes":     agg.DRAMWrites,
+			"cache_hits":      agg.CacheHits,
+			"cache_misses":    agg.CacheMisses,
+			"peak_dram_words": agg.PeakDRAMWords,
+		},
+		"runs": map[string]int64{
+			"started":   s.runsStarted.Load(),
+			"ok":        s.runsOK.Load(),
+			"failed":    s.runsFailed.Load(),
+			"cancelled": s.runsCancelled.Load(),
+		},
+		"admission":    s.adm.snapshot(),
+		"result_cache": s.results.snapshot(),
+		"datasets":     s.catalog.cacheInfo(),
+	})
+}

@@ -38,7 +38,8 @@ func sniffEdgeList(prefix []byte) bool {
 }
 
 func decodeEdgeList(a *graph.Arena) (*Dataset, bool, error) {
-	g, err := readEdgeList(bytes.NewReader(a.Bytes()))
+	b := a.Bytes()
+	g, err := readEdgeList(bytes.NewReader(b), int64(len(b)))
 	if err != nil {
 		return nil, false, err
 	}
@@ -81,8 +82,32 @@ func encodeEdgeList(w io.Writer, d *Dataset) error {
 	return nil
 }
 
+// maxPlausibleVertices bounds the vertex count a headerless edge list
+// may imply relative to its size in bytes: up to 4M vertices are
+// accepted unconditionally, beyond that the file must carry edge text
+// roughly proportional to n. Without the bound a 12-byte hostile input
+// naming vertex 4e9 would force a multi-gigabyte CSR allocation before
+// any edge is read. A "# sage-edgelist n=" header is exempt — it is how
+// the encoder round-trips sparse graphs whose vertex count legitimately
+// dwarfs their edge text, so declared counts are honored up to uint32
+// (the graph then genuinely needs O(n) memory, as it would from any
+// format).
+func maxPlausibleVertices(size int64) uint64 {
+	const floor = 1 << 22
+	if size < 0 {
+		return math.MaxUint32 // unsized reader: no basis for a bound
+	}
+	if bound := 4 * uint64(size); bound > floor {
+		return bound
+	}
+	return floor
+}
+
 // readEdgeList parses the edge-list text into a symmetrized CSR graph.
-func readEdgeList(r io.Reader) (*graph.Graph, error) {
+// size is the input length in bytes (the plausibility bound's basis), or
+// negative when unknown.
+func readEdgeList(r io.Reader, size int64) (*graph.Graph, error) {
+	maxN := maxPlausibleVertices(size)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var (
@@ -152,6 +177,14 @@ func readEdgeList(r io.Reader) (*graph.Graph, error) {
 			return nil, fmt.Errorf("edgelist: endpoint %d out of range for declared n=%d", maxV, n)
 		}
 	} else if len(edges) > 0 {
+		if maxV == math.MaxUint32 {
+			// n = maxV+1 would wrap to 0 and the builder would index out
+			// of range; the id space is one too small for this endpoint.
+			return nil, fmt.Errorf("edgelist: endpoint %d needs a vertex count beyond uint32", maxV)
+		}
+		if uint64(maxV)+1 > maxN {
+			return nil, fmt.Errorf("edgelist: endpoint %d implies an implausible vertex count for the input size (declare n with a '# sage-edgelist n=' header)", maxV)
+		}
 		n = maxV + 1
 	}
 	if weighted == 1 {

@@ -61,6 +61,15 @@ func (d *Dataset) Adj() graph.Adj {
 	return d.cg
 }
 
+// SizeWords returns the simulated NVRAM footprint of the stored graph —
+// the unit the dataset cache budgets in.
+func (d *Dataset) SizeWords() int64 {
+	if d.csr != nil {
+		return d.csr.SizeWords()
+	}
+	return d.cg.SizeWords()
+}
+
 // Mapped reports whether the dataset's arrays alias a live memory mapping
 // of the source file.
 func (d *Dataset) Mapped() bool { return d.arena != nil && d.arena.Mapped() }

@@ -113,6 +113,16 @@ func Create(path string, g *Graph, opts ...SaveOption) error {
 	return store.Create(path, g.dataset(), c.format)
 }
 
+// GraphFromDataset wraps an already-opened dataset as a Graph without
+// transferring ownership: the caller (a dataset cache, a serving
+// catalog) keeps ds open for the wrapper's entire use and closes it
+// afterwards — Close on the wrapper releases nothing. This is the bridge
+// for layers that share one mapped dataset across many concurrent runs,
+// wrapping it once per use instead of reopening the file.
+func GraphFromDataset(ds *store.Dataset) *Graph {
+	return &Graph{adj: ds.Adj(), raw: ds.CSR()}
+}
+
 // dataset wraps g for the storage layer.
 func (g *Graph) dataset() *store.Dataset {
 	g.check()

@@ -81,16 +81,48 @@ func AlgorithmNames() []string { return algos.Names() }
 
 // AlgoArgs carries the per-call parameters of a registry invocation.
 // Zero values select each algorithm's documented default (see
-// Algorithms()[i].Params).
+// Algorithms()[i].Params). The JSON names match the parameter schema
+// names, so a request body like {"src": 3, "maxiters": 50} maps directly
+// — the wire format of the sage-serve run endpoint.
 type AlgoArgs struct {
-	Src      uint32
-	K        int
-	Eps      float64
-	MaxIters int
-	Beta     float64
-	Damping  float64
-	NumSets  uint32
-	MaxSize  int
+	Src      uint32  `json:"src,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Eps      float64 `json:"eps,omitempty"`
+	MaxIters int     `json:"maxiters,omitempty"`
+	Beta     float64 `json:"beta,omitempty"`
+	Damping  float64 `json:"damping,omitempty"`
+	NumSets  uint32  `json:"numsets,omitempty"`
+	MaxSize  int     `json:"maxsize,omitempty"`
+}
+
+// CanonicalArgs normalizes args against the named algorithm's parameter
+// schema: parameters the algorithm does not take are zeroed, and omitted
+// (zero-valued) parameters are replaced by their documented defaults.
+// Two invocations that select the same computation therefore produce
+// identical AlgoArgs — the property result caches key on. Unknown names
+// report the registry's contents.
+func CanonicalArgs(name string, args AlgoArgs) (AlgoArgs, error) {
+	spec, ok := algos.Lookup(name)
+	if !ok {
+		return AlgoArgs{}, fmt.Errorf("sage: unknown algorithm %q (known: %s)",
+			name, strings.Join(algos.Names(), ", "))
+	}
+	return AlgoArgs(spec.Canonical(algos.Args(args))), nil
+}
+
+// EstimateDRAMWords estimates the peak small-memory (DRAM) residency, in
+// simulated words, of running the named algorithm on g. The estimate is
+// vertex-proportional for the Table 1 problems and edge-proportional for
+// the ones whose state is Θ(m) (triangle counting, k-clique, k-truss);
+// admission controllers use it to bound the aggregate DRAM residency of
+// concurrent runs, the constraint the PSAM's small-memory is about.
+func EstimateDRAMWords(name string, g *Graph) (int64, error) {
+	spec, ok := algos.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("sage: unknown algorithm %q (known: %s)",
+			name, strings.Join(algos.Names(), ", "))
+	}
+	return spec.EstimateDRAMWords(uint64(g.NumVertices()), g.NumEdges()), nil
 }
 
 // AlgoResult is a registry invocation's outcome.
