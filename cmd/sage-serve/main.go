@@ -10,15 +10,23 @@
 // Endpoints:
 //
 //	GET  /healthz                      liveness + uptime
-//	GET  /v1/datasets                  catalog listing
+//	GET  /v1/datasets                  catalog listing (with live delta state)
 //	GET  /v1/algorithms                registry with the JSON args schema
 //	POST /v1/run/{dataset}/{algo}      run; JSON body = args, e.g. {"src": 3}
+//	POST /v1/update/{dataset}          batch edge updates; {"ops":[{"u":1,"v":2}]}
 //	GET  /metrics                      engine PSAM aggregate + service counters
 //
 // Admission control: -max-concurrent bounds runs in flight and
 // -dram-budget bounds their summed estimated DRAM residency in simulated
 // words; excess load is shed with 429 + Retry-After. A client disconnect
 // cancels its run at the next frontier/iteration boundary.
+//
+// Batch updates keep the stored file immutable: edge inserts/deletes live
+// in a DRAM-resident delta overlay, served as immutable snapshots so
+// in-flight runs finish on the version they started with. -delta-budget
+// bounds each overlay's DRAM words (batches beyond it answer 507 until a
+// {"compact": true} update folds the overlay into a rewritten file).
+// See docs/HTTP_API.md for the full endpoint reference.
 //
 // Usage:
 //
@@ -53,6 +61,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "max runs in flight (0 = GOMAXPROCS)")
 	dramBudget := flag.Int64("dram-budget", 0, "aggregate DRAM budget for concurrent runs, in simulated words (0 = unlimited)")
 	datasetBudget := flag.Int64("dataset-budget", 0, "resident-dataset budget in simulated words; idle datasets beyond it are evicted (0 = unlimited)")
+	deltaBudget := flag.Int64("delta-budget", 0, "per-dataset update-overlay DRAM budget in simulated words; over-budget batches answer 507 (0 = unlimited)")
 	cacheEntries := flag.Int("cache-entries", 256, "result-cache capacity (negative disables)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget (0 = 64 MiB default)")
 	queueWait := flag.Duration("queue-wait", 0, "how long a run may wait for a concurrency slot before 429")
@@ -106,6 +115,7 @@ func main() {
 		MaxConcurrent:      *maxConcurrent,
 		DRAMBudgetWords:    *dramBudget,
 		DatasetBudgetWords: *datasetBudget,
+		DeltaBudgetWords:   *deltaBudget,
 		ResultCacheEntries: *cacheEntries,
 		ResultCacheBytes:   *cacheBytes,
 		QueueWait:          *queueWait,

@@ -1,0 +1,57 @@
+package sage_test
+
+// Documentation link check, run by the CI docs job: every relative
+// markdown link in README.md and docs/*.md must resolve to a file or
+// directory in the repository, so the docs cannot silently rot as files
+// move. External (scheme-ful) links and intra-page anchors are out of
+// scope — the check must not depend on the network.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and captures the target. Images
+// share the syntax (with a leading '!') and are checked the same way.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	pages := []string{"README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md"}
+	docs, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md found; the documentation moved without updating this check")
+	}
+
+	checked := 0
+	for _, page := range pages {
+		body, err := os.ReadFile(page)
+		if err != nil {
+			t.Fatalf("%s: %v", page, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			switch {
+			case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+				continue // external; not checked offline
+			case strings.HasPrefix(target, "#"):
+				continue // intra-page anchor
+			}
+			target = strings.SplitN(target, "#", 2)[0] // drop cross-page anchors
+			resolved := filepath.Join(filepath.Dir(page), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%v)", page, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links found at all; the matcher is likely broken")
+	}
+}

@@ -1,0 +1,537 @@
+// Package delta implements the batch-dynamic update overlay of the
+// semi-asymmetric design: the large graph stays a read-only structure in
+// NVRAM (an mmap-backed CSR or byte-compressed container, never written),
+// and every mutation lives in a small DRAM-resident per-vertex delta —
+// insert and delete sets with degree adjustments — exactly the base+delta
+// split that "Algorithmic Building Blocks for Asymmetric Memories"
+// prescribes for write-expensive memories, and the structure Aspen-style
+// batch-dynamic systems use at scale.
+//
+// An Overlay is an immutable value: Apply never mutates its receiver, it
+// returns a new Overlay sharing every unchanged per-vertex delta (and the
+// base graph, zero-copy) with the old one. Snapshots taken before a batch
+// therefore stay valid for in-flight traversals; readers never lock.
+//
+// The Overlay implements graph.Adj — merged iteration over (base \ dels)
+// ∪ adds, sorted, with weights — and graph.FlatAdj in its decode form, so
+// every traversal strategy and every registry algorithm runs on it
+// unmodified. Vertices without a delta delegate to the base directly, and
+// the empty overlay is never handed to the traversal layer at all (the
+// sage.Snapshot wrapper exposes the base graph itself, keeping the flat
+// zero-copy fast path byte-identical to the static case).
+//
+// PSAM accounting: delta memory is DRAM-resident and reported by Words so
+// serving layers can budget it; merged scans of a delta vertex charge the
+// base's full scan cost (the merge must examine the base list to apply
+// deletions). Inserted edges are DRAM-resident but charged at the base
+// rate by position-counting traversals — a conservative upper bound on
+// NVRAM reads; splitting the charge exactly is a ROADMAP open item.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sage/internal/graph"
+)
+
+// ErrBadOp marks a rejected batch: an out-of-range endpoint, a
+// self-loop, or a weight on an unweighted base. Test with errors.Is;
+// serving layers map it to a client error.
+var ErrBadOp = errors.New("invalid edge op")
+
+// Op is one undirected edge mutation. Del deletes edge {U, V} if present
+// (a no-op otherwise); otherwise the op inserts {U, V} (idempotent), with
+// weight W on weighted bases — inserting an edge that already exists with
+// a different weight re-weights it. Ops within a batch apply in order.
+type Op struct {
+	U, V uint32
+	W    int32
+	Del  bool
+}
+
+// vdelta is one vertex's DRAM-resident delta: neighbors inserted (sorted,
+// with aligned weights on weighted bases) and base neighbors deleted
+// (sorted). A re-weighted base edge appears in both sets — deleted from
+// the base view, re-inserted at the new weight. Invariants: adds and the
+// live base view are disjoint; dels is a subset of base neighbors.
+type vdelta struct {
+	adds []uint32
+	addW []int32 // aligned with adds; nil on unweighted bases
+	dels []uint32
+}
+
+// words returns the DRAM-word footprint charged for the delta: one word
+// per id, one per weight, plus a constant for the headers and map slot.
+func (d *vdelta) words() int64 {
+	return 4 + int64(len(d.adds)) + int64(len(d.addW)) + int64(len(d.dels))
+}
+
+// empty reports whether the delta no longer changes the vertex.
+func (d *vdelta) empty() bool { return len(d.adds) == 0 && len(d.dels) == 0 }
+
+// clone deep-copies the delta so Apply can mutate it privately. addW's
+// non-nilness is the weighted-base discriminator, so an empty weight
+// slice must stay non-nil through the copy.
+func (d *vdelta) clone() *vdelta {
+	c := &vdelta{
+		adds: append([]uint32(nil), d.adds...),
+		dels: append([]uint32(nil), d.dels...),
+	}
+	if d.addW != nil {
+		c.addW = make([]int32, len(d.addW))
+		copy(c.addW, d.addW)
+	}
+	return c
+}
+
+// Overlay is an immutable batch-dynamic view of a read-only base graph:
+// the base plus per-vertex DRAM deltas. It is safe for any number of
+// concurrent readers; Apply builds a new Overlay without touching the
+// receiver.
+type Overlay struct {
+	base     graph.Adj
+	n        uint32
+	m        uint64 // merged arc count
+	weighted bool
+	verts    map[uint32]*vdelta
+	words    int64  // summed vdelta words
+	arcsAdd  uint64 // arcs inserted (Σ len(adds))
+	arcsDel  uint64 // base arcs deleted (Σ len(dels))
+}
+
+// New returns the empty overlay over base: the identity view.
+func New(base graph.Adj) *Overlay {
+	return &Overlay{
+		base:     base,
+		n:        base.NumVertices(),
+		m:        base.NumEdges(),
+		weighted: base.Weighted(),
+		verts:    map[uint32]*vdelta{},
+	}
+}
+
+// Base returns the read-only base graph the overlay composes with.
+func (o *Overlay) Base() graph.Adj { return o.base }
+
+// Empty reports whether the overlay changes nothing (the identity view).
+func (o *Overlay) Empty() bool { return len(o.verts) == 0 }
+
+// Words returns the overlay's DRAM-resident footprint in simulated words
+// — the quantity PSAM small-memory budgets are charged with.
+func (o *Overlay) Words() int64 { return o.words }
+
+// DeltaArcs returns the directed arc counts of the delta: arcs inserted
+// and base arcs deleted (each undirected edge op contributes two arcs).
+// A re-weighted edge counts in both.
+func (o *Overlay) DeltaArcs() (added, deleted uint64) { return o.arcsAdd, o.arcsDel }
+
+// baseNeighbors materializes v's base adjacency into buf (ids and, on
+// weighted bases, aligned weights).
+func (o *Overlay) baseNeighbors(v uint32, buf []uint32, wbuf []int32) ([]uint32, []int32) {
+	buf, wbuf = buf[:0], wbuf[:0]
+	o.base.IterRange(v, 0, o.base.Degree(v), func(_, u uint32, w int32) bool {
+		buf = append(buf, u)
+		wbuf = append(wbuf, w)
+		return true
+	})
+	return buf, wbuf
+}
+
+// find locates x in the sorted slice s.
+func find(s []uint32, x uint32) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i, i < len(s) && s[i] == x
+}
+
+// insertAt inserts x into the sorted slice s at position i.
+func insertAt(s []uint32, i int, x uint32) []uint32 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// removeAt removes position i from s.
+func removeAt(s []uint32, i int) []uint32 {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+func insertAtW(s []int32, i int, x int32) []int32 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+func removeAtW(s []int32, i int) []int32 {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// applyArc applies one directed half of an op to v's delta. base/baseW is
+// v's materialized base adjacency. It returns the arc-count change.
+func (o *Overlay) applyArc(d *vdelta, base []uint32, baseW []int32, ngh uint32, w int32, del bool) int {
+	bi, inBase := find(base, ngh)
+	di, inDels := find(d.dels, ngh)
+	ai, inAdds := find(d.adds, ngh)
+	switch {
+	case del:
+		delta := 0
+		if inAdds {
+			d.adds = removeAt(d.adds, ai)
+			if d.addW != nil {
+				d.addW = removeAtW(d.addW, ai)
+			}
+			delta--
+		}
+		if inBase && !inDels {
+			d.dels = insertAt(d.dels, di, ngh)
+			delta--
+		}
+		return delta
+	case inBase && !inDels:
+		// Present in the live base view. Unweighted (or same weight):
+		// idempotent no-op. Weighted with a new weight: delete the base
+		// arc and re-insert at w.
+		if !o.weighted || baseW[bi] == w {
+			return 0
+		}
+		d.dels = insertAt(d.dels, di, ngh)
+		d.adds = insertAt(d.adds, ai, ngh)
+		d.addW = insertAtW(d.addW, ai, w)
+		return 0
+	case inBase && inDels:
+		// Deleted base edge being re-inserted. At the original weight the
+		// deletion is simply undone; otherwise it becomes a re-weight.
+		if inAdds {
+			if d.addW != nil {
+				d.addW[ai] = w
+			}
+			return 0
+		}
+		if !o.weighted || baseW[bi] == w {
+			d.dels = removeAt(d.dels, di)
+			return 1
+		}
+		d.adds = insertAt(d.adds, ai, ngh)
+		d.addW = insertAtW(d.addW, ai, w)
+		return 1
+	case inAdds:
+		if d.addW != nil {
+			d.addW[ai] = w
+		}
+		return 0
+	default:
+		d.adds = insertAt(d.adds, ai, ngh)
+		if d.addW != nil {
+			d.addW = insertAtW(d.addW, ai, w)
+		}
+		return 1
+	}
+}
+
+// Apply returns a new Overlay with ops applied in order, sharing the base
+// and every unchanged per-vertex delta with the receiver. The receiver is
+// not modified; snapshots holding it stay valid. Self-loops and
+// out-of-range endpoints reject the whole batch (it applies atomically or
+// not at all); weights on an unweighted base are likewise rejected.
+func (o *Overlay) Apply(ops []Op) (*Overlay, error) {
+	for i, op := range ops {
+		if op.U >= o.n || op.V >= o.n {
+			return nil, fmt.Errorf("delta: op %d: %w: edge (%d,%d) out of range (n=%d)", i, ErrBadOp, op.U, op.V, o.n)
+		}
+		if op.U == op.V {
+			return nil, fmt.Errorf("delta: op %d: %w: self-loop at %d (graphs are simple)", i, ErrBadOp, op.U)
+		}
+		if !o.weighted && !op.Del && op.W != 0 && op.W != 1 {
+			return nil, fmt.Errorf("delta: op %d: %w: weight %d on an unweighted graph", i, ErrBadOp, op.W)
+		}
+	}
+	nv := &Overlay{
+		base: o.base, n: o.n, m: o.m, weighted: o.weighted,
+		verts: make(map[uint32]*vdelta, len(o.verts)+len(ops)),
+		words: o.words, arcsAdd: o.arcsAdd, arcsDel: o.arcsDel,
+	}
+	for v, d := range o.verts {
+		nv.verts[v] = d
+	}
+	// Copy-on-write: the first touch of a vertex in this batch clones its
+	// delta; later ops in the same batch mutate the clone in place. The
+	// vertex's base adjacency is materialized once per batch alongside it
+	// (the base is immutable for the batch, and re-decoding a hub's list
+	// per op would make a B-op batch cost O(B·deg) base decodes).
+	cloned := map[uint32]*vdelta{}
+	baseN := map[uint32][]uint32{}
+	baseW := map[uint32][]int32{}
+	touch := func(v uint32) *vdelta {
+		if d, ok := cloned[v]; ok {
+			return d
+		}
+		var d *vdelta
+		if old, ok := nv.verts[v]; ok {
+			d = old.clone()
+		} else {
+			d = &vdelta{}
+			if nv.weighted {
+				d.addW = []int32{}
+			}
+		}
+		nv.words -= dWords(nv.verts[v])
+		cloned[v], nv.verts[v] = d, d
+		return d
+	}
+	for _, op := range ops {
+		w := op.W
+		if nv.weighted && !op.Del && w == 0 {
+			w = 1 // the documented default insert weight
+		}
+		for _, dir := range [2][2]uint32{{op.U, op.V}, {op.V, op.U}} {
+			d := touch(dir[0])
+			if _, ok := baseN[dir[0]]; !ok {
+				baseN[dir[0]], baseW[dir[0]] = nv.baseNeighbors(dir[0], nil, nil)
+			}
+			delta := nv.applyArc(d, baseN[dir[0]], baseW[dir[0]], dir[1], w, op.Del)
+			nv.m = uint64(int64(nv.m) + int64(delta))
+		}
+	}
+	// Settle accounting and drop deltas the batch cancelled out.
+	for v := range cloned {
+		d := nv.verts[v]
+		if d.empty() {
+			delete(nv.verts, v)
+			continue
+		}
+		nv.words += d.words()
+	}
+	nv.arcsAdd, nv.arcsDel = 0, 0
+	for _, d := range nv.verts {
+		nv.arcsAdd += uint64(len(d.adds))
+		nv.arcsDel += uint64(len(d.dels))
+	}
+	return nv, nil
+}
+
+// dWords is words() tolerating nil.
+func dWords(d *vdelta) int64 {
+	if d == nil {
+		return 0
+	}
+	return d.words()
+}
+
+// --------------------------------------------------------------------
+// graph.Adj: the merged adjacency view.
+// --------------------------------------------------------------------
+
+// NumVertices returns n.
+func (o *Overlay) NumVertices() uint32 { return o.n }
+
+// NumEdges returns the merged arc count: base arcs minus deletions plus
+// insertions.
+func (o *Overlay) NumEdges() uint64 { return o.m }
+
+// Weighted reports whether the base carries edge weights.
+func (o *Overlay) Weighted() bool { return o.weighted }
+
+// Degree returns the merged degree of v.
+func (o *Overlay) Degree(v uint32) uint32 {
+	d, ok := o.verts[v]
+	if !ok {
+		return o.base.Degree(v)
+	}
+	return o.base.Degree(v) + uint32(len(d.adds)) - uint32(len(d.dels))
+}
+
+// AvgDegree returns max(1, m/n) over the merged view.
+func (o *Overlay) AvgDegree() uint32 {
+	if o.n == 0 {
+		return 1
+	}
+	if d := uint32(o.m / uint64(o.n)); d > 1 {
+		return d
+	}
+	return 1
+}
+
+// EdgeAddr returns the simulated NVRAM address of v's base adjacency —
+// inserted edges live in DRAM and have no NVRAM address of their own.
+func (o *Overlay) EdgeAddr(v uint32) int64 { return o.base.EdgeAddr(v) }
+
+// BlockSize reports 0: the merged view supports arbitrary decode
+// granularity regardless of the base's block structure (DecodeRange
+// re-merges per call).
+func (o *Overlay) BlockSize() int { return 0 }
+
+// ScanCost returns the simulated NVRAM words read when scanning merged
+// positions [lo, hi) of v. Vertices without a delta delegate to the base;
+// a delta vertex charges its full base scan — applying deletions forces
+// the merge to examine the base list — which upper-bounds the true cost.
+func (o *Overlay) ScanCost(v uint32, lo, hi uint32) int64 {
+	if _, ok := o.verts[v]; !ok {
+		return o.base.ScanCost(v, lo, hi)
+	}
+	if hi <= lo {
+		return 0
+	}
+	return o.base.ScanCost(v, 0, o.base.Degree(v))
+}
+
+// IterRange iterates merged adjacency positions [lo, hi) of v in sorted
+// order, stopping early if fn returns false. Base neighbors absent from
+// the delete set appear with their base weights; inserted neighbors
+// (including re-weighted base edges) with their delta weights.
+func (o *Overlay) IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w int32) bool) {
+	d, ok := o.verts[v]
+	if !ok {
+		o.base.IterRange(v, lo, hi, fn)
+		return
+	}
+	if deg := o.Degree(v); hi > deg {
+		hi = deg
+	}
+	if hi <= lo {
+		return
+	}
+	pos := uint32(0)
+	ai, di := 0, 0
+	stopped := false
+	emit := func(ngh uint32, w int32) bool { // returns false to stop the walk
+		if pos >= hi {
+			return false
+		}
+		if pos >= lo && !fn(pos, ngh, w) {
+			pos++
+			return false
+		}
+		pos++
+		return true
+	}
+	addW := func(i int) int32 {
+		if d.addW == nil {
+			return 1
+		}
+		return d.addW[i]
+	}
+	o.base.IterRange(v, 0, o.base.Degree(v), func(_, u uint32, w int32) bool {
+		// Flush inserted neighbors ordered before u.
+		for ai < len(d.adds) && d.adds[ai] < u {
+			if !emit(d.adds[ai], addW(ai)) {
+				stopped = true
+				return false
+			}
+			ai++
+		}
+		for di < len(d.dels) && d.dels[di] < u {
+			di++
+		}
+		if di < len(d.dels) && d.dels[di] == u {
+			// Deleted base arc; a same-id insert is a re-weight.
+			di++
+			if ai < len(d.adds) && d.adds[ai] == u {
+				ok := emit(u, addW(ai))
+				ai++
+				if !ok {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		}
+		if !emit(u, w) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	for ai < len(d.adds) {
+		if !emit(d.adds[ai], addW(ai)) {
+			return
+		}
+		ai++
+	}
+}
+
+// --------------------------------------------------------------------
+// graph.FlatAdj: the decode form of the closure-free access path. The
+// merged view is never flat (FlatRange always declines), so traversals
+// block-decode it into their per-worker scratch like a compressed graph.
+// --------------------------------------------------------------------
+
+// FlatRange implements graph.FlatAdj: merged adjacency is never flat.
+func (o *Overlay) FlatRange(v, lo, hi uint32) ([]uint32, []int32, bool) {
+	return nil, nil, false
+}
+
+// DecodeRange implements graph.FlatAdj, materializing merged positions
+// [lo, hi) of v into buf. Vertices without a delta delegate to the base's
+// own decoder when it has one.
+func (o *Overlay) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
+	if _, ok := o.verts[v]; !ok {
+		if fad, ok := o.base.(graph.FlatAdj); ok {
+			return fad.DecodeRange(v, lo, hi, buf)
+		}
+	}
+	if deg := o.Degree(v); hi > deg {
+		hi = deg
+	}
+	buf = buf[:0]
+	if hi <= lo {
+		return buf
+	}
+	o.IterRange(v, lo, hi, func(_, u uint32, _ int32) bool {
+		buf = append(buf, u)
+		return true
+	})
+	return buf
+}
+
+// DecodeRangeW implements graph.FlatAdj, additionally materializing the
+// aligned weights (ws is nil on unweighted bases).
+func (o *Overlay) DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32) {
+	if _, ok := o.verts[v]; !ok {
+		if fad, ok := o.base.(graph.FlatAdj); ok {
+			return fad.DecodeRangeW(v, lo, hi, buf, wbuf)
+		}
+	}
+	if deg := o.Degree(v); hi > deg {
+		hi = deg
+	}
+	buf = buf[:0]
+	if !o.weighted {
+		if hi > lo {
+			o.IterRange(v, lo, hi, func(_, u uint32, _ int32) bool {
+				buf = append(buf, u)
+				return true
+			})
+		}
+		return buf, nil
+	}
+	wbuf = wbuf[:0]
+	if hi > lo {
+		o.IterRange(v, lo, hi, func(_, u uint32, w int32) bool {
+			buf = append(buf, u)
+			wbuf = append(wbuf, w)
+			return true
+		})
+	}
+	return buf, wbuf
+}
+
+// SizeWords returns the simulated NVRAM footprint of the view — the
+// base's; the delta is DRAM-resident and reported by Words instead.
+func (o *Overlay) SizeWords() int64 {
+	if s, ok := o.base.(interface{ SizeWords() int64 }); ok {
+		return s.SizeWords()
+	}
+	w := int64(o.base.NumVertices()) + 1 + int64(o.base.NumEdges())
+	if o.base.Weighted() {
+		w += int64(o.base.NumEdges())
+	}
+	return w
+}

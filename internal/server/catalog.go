@@ -63,14 +63,23 @@ func (c *catalog) add(name, path string) error {
 	return nil
 }
 
+// path resolves a dataset name to its stored path.
+func (c *catalog) path(name string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	path, ok := c.paths[name]
+	if !ok {
+		return "", fmt.Errorf("%w %q", errUnknownDataset, name)
+	}
+	return path, nil
+}
+
 // acquire returns a refcounted handle on the named dataset, opening it if
 // needed. The caller must Release it when the run completes.
 func (c *catalog) acquire(name string) (*store.Handle, error) {
-	c.mu.Lock()
-	path, ok := c.paths[name]
-	c.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w %q", errUnknownDataset, name)
+	path, err := c.path(name)
+	if err != nil {
+		return nil, err
 	}
 	return c.cache.Acquire(path, c.opts)
 }
@@ -89,6 +98,12 @@ type datasetInfo struct {
 	Compressed bool   `json:"compressed,omitempty"`
 	Mapped     bool   `json:"mapped,omitempty"`
 	SizeWords  int64  `json:"size_words,omitempty"`
+	// The update-overlay fields are present when the dataset has live
+	// batch updates; Generation and Edges then describe the current
+	// snapshot rather than the stored base.
+	DeltaWords       int64  `json:"delta_words,omitempty"`
+	DeltaArcsAdded   uint64 `json:"delta_arcs_added,omitempty"`
+	DeltaArcsDeleted uint64 `json:"delta_arcs_deleted,omitempty"`
 }
 
 // list returns the catalog sorted by name.

@@ -51,6 +51,11 @@ type Config struct {
 	// responses (0: default 64 MiB). Responses bigger than a quarter of
 	// the budget are never cached.
 	ResultCacheBytes int64
+	// DeltaBudgetWords caps each dataset's update-overlay DRAM footprint
+	// in simulated words; a batch that would exceed it is rejected with
+	// 507 until a compaction folds the overlay into the base (0:
+	// unlimited).
+	DeltaBudgetWords int64
 	// QueueWait is how long an arriving run may wait for a concurrency
 	// slot before being shed (0: shed immediately).
 	QueueWait time.Duration
@@ -69,6 +74,7 @@ type Server struct {
 	catalog *catalog
 	adm     *admission
 	results *resultCache
+	updates *updates
 	maxRun  time.Duration
 	mux     *http.ServeMux
 	started time.Time
@@ -102,10 +108,12 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.updates = newUpdates(s.catalog, cfg.DeltaBudgetWords)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/run/{dataset}/{algo}", s.handleRun)
+	s.mux.HandleFunc("POST /v1/update/{dataset}", s.handleUpdate)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -127,9 +135,12 @@ func (s *Server) Preload(name string) error {
 	return nil
 }
 
-// Close releases every idle resident dataset. Call after the HTTP server
-// has shut down (no runs in flight).
-func (s *Server) Close() error { return s.catalog.close() }
+// Close drops every update overlay and releases every idle resident
+// dataset. Call after the HTTP server has shut down (no runs in flight).
+func (s *Server) Close() error {
+	s.updates.close()
+	return s.catalog.close()
+}
 
 // ServeHTTP dispatches to the service endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -223,7 +234,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.catalog.list()})
+	infos := s.catalog.list()
+	for i := range infos {
+		// Overlay the update state: a dataset with live batch updates
+		// reports its current snapshot's generation and merged edge count.
+		if v := s.updates.pin(infos[i].Name); v != nil {
+			infos[i].Generation = v.gen
+			infos[i].Edges = v.snap.NumEdges()
+			infos[i].DeltaWords = v.snap.DeltaWords()
+			infos[i].DeltaArcsAdded, infos[i].DeltaArcsDeleted = v.snap.DeltaArcs()
+			s.updates.unref(v)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
 
 // algorithmInfo mirrors sage.Algorithm with wire-stable JSON names; the
@@ -260,10 +283,13 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
 }
 
-// decodeArgs parses the request body into args. An empty body selects
-// all defaults; unknown fields and malformed JSON are client errors.
-func decodeArgs(r *http.Request, args *sage.AlgoArgs) error {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+// decodeStrict parses the request body into v: at most limit bytes, no
+// unknown fields, exactly one JSON value (concatenated objects or
+// trailing garbage mean a corrupted body, not input to silently
+// truncate). An empty body leaves v untouched. what names the payload in
+// error messages.
+func decodeStrict(r *http.Request, v any, limit int64, what string) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, limit))
 	if err != nil {
 		return fmt.Errorf("reading body: %w", err)
 	}
@@ -272,16 +298,20 @@ func decodeArgs(r *http.Request, args *sage.AlgoArgs) error {
 	}
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(args); err != nil {
-		return fmt.Errorf("args: %w (schema: see /v1/algorithms)", err)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", what, err)
 	}
-	// Exactly one JSON value: concatenated objects or trailing garbage
-	// mean a corrupted body, not arguments to silently truncate.
 	var extra json.RawMessage
 	if err := dec.Decode(&extra); err != io.EOF {
-		return fmt.Errorf("args: unexpected data after the JSON object")
+		return fmt.Errorf("%s: unexpected data after the JSON object", what)
 	}
 	return nil
+}
+
+// decodeArgs parses the run endpoint's body. An empty body selects all
+// defaults.
+func decodeArgs(r *http.Request, args *sage.AlgoArgs) error {
+	return decodeStrict(r, args, 1<<20, "args (schema: see /v1/algorithms)")
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -300,7 +330,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	h, err := s.catalog.acquire(dsName)
+	// Pin what this run executes against: the dataset's current snapshot
+	// version when it has an update overlay, else the plain mapped
+	// dataset. The pin keeps the mapping (and overlay) valid for the whole
+	// run even if updates, compactions, or evictions land meanwhile.
+	g, gen, release, err := s.pinForRun(dsName)
 	if errors.Is(err, errUnknownDataset) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -309,10 +343,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "opening dataset %q: %v", dsName, err)
 		return
 	}
-	defer h.Release() // keeps the mapping pinned for the whole run
-	g := sage.GraphFromDataset(h.Dataset())
+	defer release()
 
-	key := fmt.Sprintf("%s@%d/%s?%+v", dsName, h.Generation(), algoName, canon)
+	key := fmt.Sprintf("%s@%d/%s?%+v", dsName, gen, algoName, canon)
 	if body, slim, ok := s.results.get(key); ok {
 		w.Header().Set("X-Sage-Cache", "hit")
 		if !includeValue {
@@ -322,8 +355,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The admission budget covers per-run state only: a snapshot's
+	// overlay is resident once regardless of how many runs share it, and
+	// is bounded separately by the delta budget.
 	words, _ := sage.EstimateDRAMWords(algoName, g) // algoName validated above
-	release, gate, ok := s.adm.admit(r.Context(), words)
+	releaseSlot, gate, ok := s.adm.admit(r.Context(), words)
 	if !ok {
 		if r.Context().Err() != nil {
 			// Client gone while queued: no run started and nothing was
@@ -335,7 +371,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			"overloaded (%s limit): retry later", gate)
 		return
 	}
-	defer release()
+	defer releaseSlot()
 
 	ctx := r.Context()
 	if s.maxRun > 0 {
@@ -369,7 +405,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := runResponse{
 		Dataset:    dsName,
-		Generation: h.Generation(),
+		Generation: gen,
 		Algo:       algoName,
 		Args:       canon,
 		Summary:    res.Summary,
@@ -410,6 +446,70 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // but keeps access logs honest.
 const statusClientClosedRequest = 499
 
+// updateRequest is the update endpoint's body.
+type updateRequest struct {
+	// Ops apply in order; see sage.EdgeOp for the per-op semantics.
+	Ops []sage.EdgeOp `json:"ops"`
+	// Compact folds the resulting overlay into a rewritten container file
+	// after applying Ops (which may be empty: a pure compaction).
+	Compact bool `json:"compact,omitempty"`
+}
+
+// updateResponse is the update endpoint's body: the new generation and
+// the shape and delta footprint of the now-current snapshot.
+type updateResponse struct {
+	Dataset          string  `json:"dataset"`
+	Generation       uint64  `json:"generation"`
+	Applied          int     `json:"applied"`
+	Vertices         uint32  `json:"vertices"`
+	Edges            uint64  `json:"edges"`
+	DeltaWords       int64   `json:"delta_words"`
+	DeltaArcsAdded   uint64  `json:"delta_arcs_added"`
+	DeltaArcsDeleted uint64  `json:"delta_arcs_deleted"`
+	Compacted        bool    `json:"compacted,omitempty"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	dsName := r.PathValue("dataset")
+	var req updateRequest
+	if err := decodeStrict(r, &req, 8<<20, "update"); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Ops) == 0 && !req.Compact {
+		writeError(w, http.StatusBadRequest, "empty update: provide ops, compact, or both")
+		return
+	}
+	start := time.Now()
+	res, err := s.updates.apply(dsName, req.Ops, req.Compact)
+	if err != nil {
+		switch {
+		case errors.Is(err, errUnknownDataset):
+			writeError(w, http.StatusNotFound, "%v", err)
+		case errors.Is(err, errDeltaBudget):
+			writeError(w, http.StatusInsufficientStorage, "%v", err)
+		case errors.Is(err, sage.ErrBadEdgeOp):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Dataset:          dsName,
+		Generation:       res.generation,
+		Applied:          len(req.Ops),
+		Vertices:         res.vertices,
+		Edges:            res.edges,
+		DeltaWords:       res.deltaWords,
+		DeltaArcsAdded:   res.arcsAdded,
+		DeltaArcsDeleted: res.arcsDeleted,
+		Compacted:        res.compacted,
+		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	agg := s.engine.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -435,5 +535,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"admission":    s.adm.snapshot(),
 		"result_cache": s.results.snapshot(),
 		"datasets":     s.catalog.cacheInfo(),
+		"updates":      s.updates.snapshot(),
 	})
 }

@@ -1,0 +1,289 @@
+package server
+
+// Batch-dynamic updates for served datasets. The stored file stays
+// immutable; POST /v1/update/{dataset} folds a batch of edge ops into a
+// DRAM-resident delta overlay (sage.Snapshot) and atomically swaps the
+// dataset's current snapshot. Snapshots are versioned and refcounted:
+//
+//   - Every run pins the snapshot version current when it was admitted;
+//     an update arriving mid-run swaps the current version without
+//     touching pinned ones, and a version's base mapping is released only
+//     when the map reference and every pinned run are gone.
+//   - Each swap bumps the dataset's generation through store.Cache.Bump,
+//     so result-cache keys (generation, algo, args) from older versions
+//     can never answer a query against the new one.
+//   - A compacting update writes the merged view through sage.Create
+//     (atomic temp-file rename over the dataset path), invalidates the
+//     cache entry so new requests map the compacted file, and drops the
+//     overlay; in-flight runs finish on the detached old mapping.
+//
+// The delta budget bounds each dataset's overlay DRAM words — the PSAM
+// small-memory account the overlay lives in. A batch that would exceed it
+// is rejected with 507 Insufficient Storage until a compaction folds the
+// delta into the base.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sage"
+	"sage/internal/store"
+)
+
+// errDeltaBudget marks a rejected over-budget batch (507).
+var errDeltaBudget = fmt.Errorf("delta budget exceeded")
+
+// snapVersion is one published snapshot of a dataset: the overlay view,
+// its logical generation, and the cache handle pinning the base mapping.
+// refs counts the updates-map reference plus every in-flight run.
+type snapVersion struct {
+	snap *sage.Snapshot
+	gen  uint64
+	ds   *store.Dataset // the base the snapshot composes with
+	h    *store.Handle
+	refs int // guarded by updates.mu
+}
+
+// updates owns the per-dataset snapshot versions and serializes batches.
+type updates struct {
+	catalog *catalog
+	budget  int64 // max overlay DRAM words per dataset; 0 = unlimited
+
+	mu       sync.Mutex
+	versions map[string]*snapVersion
+	locks    map[string]*sync.Mutex // per-dataset update serialization
+
+	batches       atomic.Int64
+	opsApplied    atomic.Int64
+	compactions   atomic.Int64
+	rejectedDelta atomic.Int64
+}
+
+func newUpdates(c *catalog, budgetWords int64) *updates {
+	return &updates{
+		catalog:  c,
+		budget:   budgetWords,
+		versions: map[string]*snapVersion{},
+		locks:    map[string]*sync.Mutex{},
+	}
+}
+
+// pin returns the dataset's current snapshot version, refcounted, or nil
+// when it has no overlay. The caller must unref it when its run ends.
+func (u *updates) pin(name string) *snapVersion {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	v := u.versions[name]
+	if v != nil {
+		v.refs++
+	}
+	return v
+}
+
+// unref drops one reference; the last one releases the base pin.
+func (u *updates) unref(v *snapVersion) {
+	u.mu.Lock()
+	v.refs--
+	last := v.refs == 0
+	u.mu.Unlock()
+	if last {
+		v.h.Release()
+	}
+}
+
+// lockDataset serializes updates to one dataset (runs are not blocked).
+func (u *updates) lockDataset(name string) *sync.Mutex {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	l, ok := u.locks[name]
+	if !ok {
+		l = &sync.Mutex{}
+		u.locks[name] = l
+	}
+	return l
+}
+
+// deltaWordsTotal sums the live overlays' DRAM words, for /metrics.
+func (u *updates) deltaWordsTotal() (datasets int, words int64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for _, v := range u.versions {
+		datasets++
+		words += v.snap.DeltaWords()
+	}
+	return datasets, words
+}
+
+// updateResult is what apply reports back to the handler.
+type updateResult struct {
+	generation  uint64
+	vertices    uint32
+	edges       uint64
+	deltaWords  int64
+	arcsAdded   uint64
+	arcsDeleted uint64
+	compacted   bool
+}
+
+// apply folds ops into name's current snapshot (creating the identity
+// snapshot on first update), optionally compacting afterwards. It returns
+// errUnknownDataset, errDeltaBudget, a sage validation error (client
+// errors), or an IO error.
+func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateResult, error) {
+	path, err := u.catalog.path(name)
+	if err != nil {
+		return nil, err
+	}
+
+	l := u.lockDataset(name)
+	l.Lock()
+	defer l.Unlock()
+
+	// The new version needs its own pin on the base mapping. While we hold
+	// the dataset's update lock no compaction can invalidate the entry,
+	// and any current version's pin keeps it from being evicted, so this
+	// resolves to the same mapping the current snapshot composes with.
+	h, err := u.catalog.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	u.mu.Lock()
+	cur := u.versions[name]
+	u.mu.Unlock()
+	var snap *sage.Snapshot
+	if cur != nil {
+		if cur.ds != h.Dataset() { // unreachable; guards the pin invariant
+			h.Release()
+			return nil, fmt.Errorf("snapshot base lost its mapping (dataset %q)", name)
+		}
+		snap = cur.snap
+	} else {
+		snap = sage.GraphFromDataset(h.Dataset()).Snapshot()
+	}
+
+	next, err := snap.ApplyBatch(ops)
+	if err != nil {
+		h.Release()
+		return nil, err
+	}
+	if u.budget > 0 && next.DeltaWords() > u.budget && !compact {
+		h.Release()
+		u.rejectedDelta.Add(1)
+		return nil, fmt.Errorf("%w: overlay would hold %d DRAM words (budget %d); compact or split the batch",
+			errDeltaBudget, next.DeltaWords(), u.budget)
+	}
+
+	res := &updateResult{vertices: next.NumVertices(), edges: next.NumEdges()}
+	if compact {
+		if err := next.Compact(path); err != nil {
+			h.Release()
+			return nil, fmt.Errorf("compacting %q: %w", name, err)
+		}
+		h.Release()
+		u.catalog.cache.Invalidate(path)
+		u.retire(name)
+		// Reopen the compacted file now: a broken write surfaces here, and
+		// the response carries the generation new requests will see.
+		h2, err := u.catalog.acquire(name)
+		if err != nil {
+			return nil, fmt.Errorf("reopening compacted %q: %w", name, err)
+		}
+		res.generation = h2.Generation()
+		h2.Release()
+		u.compactions.Add(1)
+	} else if next.DeltaWords() == 0 && cur == nil {
+		// A batch of pure no-ops on a dataset with no overlay: nothing
+		// changed, so nothing is swapped or invalidated.
+		res.generation = h.Generation()
+		h.Release()
+	} else {
+		res.generation = u.catalog.cache.Bump(path)
+		res.deltaWords = next.DeltaWords()
+		res.arcsAdded, res.arcsDeleted = next.DeltaArcs()
+		if next.DeltaWords() == 0 {
+			// The batch cancelled the overlay out: back to the plain base
+			// at the bumped generation.
+			h.Release()
+			u.retire(name)
+		} else {
+			nv := &snapVersion{snap: next, gen: res.generation, ds: h.Dataset(), h: h, refs: 1}
+			u.mu.Lock()
+			old := u.versions[name]
+			u.versions[name] = nv
+			u.mu.Unlock()
+			if old != nil {
+				u.unref(old)
+			}
+		}
+	}
+	res.compacted = compact
+	u.batches.Add(1)
+	u.opsApplied.Add(int64(len(ops)))
+	return res, nil
+}
+
+// retire removes name's current version (if any), dropping the map's
+// reference.
+func (u *updates) retire(name string) {
+	u.mu.Lock()
+	old := u.versions[name]
+	delete(u.versions, name)
+	u.mu.Unlock()
+	if old != nil {
+		u.unref(old)
+	}
+}
+
+// close retires every version (in-flight pins still defer the base
+// release until their runs end).
+func (u *updates) close() {
+	u.mu.Lock()
+	names := make([]string, 0, len(u.versions))
+	for name := range u.versions {
+		names = append(names, name)
+	}
+	u.mu.Unlock()
+	for _, name := range names {
+		u.retire(name)
+	}
+}
+
+// snapshot reports the update counters for /metrics.
+func (u *updates) snapshot() updateStats {
+	datasets, words := u.deltaWordsTotal()
+	return updateStats{
+		DeltaBudgetWords:    u.budget,
+		DatasetsWithDelta:   datasets,
+		DeltaWords:          words,
+		Batches:             u.batches.Load(),
+		OpsApplied:          u.opsApplied.Load(),
+		Compactions:         u.compactions.Load(),
+		RejectedDeltaBudget: u.rejectedDelta.Load(),
+	}
+}
+
+// updateStats is the /metrics view of the update layer.
+type updateStats struct {
+	DeltaBudgetWords    int64 `json:"delta_budget_words"`
+	DatasetsWithDelta   int   `json:"datasets_with_delta"`
+	DeltaWords          int64 `json:"delta_words"`
+	Batches             int64 `json:"batches"`
+	OpsApplied          int64 `json:"ops_applied"`
+	Compactions         int64 `json:"compactions"`
+	RejectedDeltaBudget int64 `json:"rejected_delta_budget"`
+}
+
+// pinForRun resolves what a run on name should execute against: the
+// current snapshot version (pinned for the run's duration) when the
+// dataset has an overlay, else the plain cached dataset.
+func (s *Server) pinForRun(name string) (g *sage.Graph, gen uint64, release func(), err error) {
+	if v := s.updates.pin(name); v != nil {
+		return v.snap.Graph(), v.gen, func() { s.updates.unref(v) }, nil
+	}
+	h, err := s.catalog.acquire(name)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return sage.GraphFromDataset(h.Dataset()), h.Generation(), h.Release, nil
+}

@@ -41,13 +41,20 @@ type cacheEntry struct {
 	words   int64
 	refs    int
 	lastUse uint64
+	// detached entries have been removed from the map by Invalidate while
+	// some handle still referenced them: the dataset closes when the last
+	// handle releases, never under a reader.
+	detached bool
 }
 
 // Handle is one acquisition of a cached dataset. The dataset stays open —
-// and its mmap valid — at least until Release.
+// and its mmap valid — at least until Release. The generation is captured
+// at acquisition: a later Bump or reopen does not change what this handle
+// reports, so results computed against it stay keyed to the state it saw.
 type Handle struct {
 	c        *Cache
 	e        *cacheEntry
+	gen      uint64
 	released bool
 	// peek handles (AcquireCached) do not count as uses: neither the
 	// acquisition nor its Release stamps recency, so monitoring reads
@@ -116,7 +123,7 @@ func (c *Cache) AcquireCached(path string) (*Handle, bool) {
 		return nil, false
 	}
 	e.refs++
-	return &Handle{c: c, e: e, peek: true}, true
+	return &Handle{c: c, e: e, gen: e.gen, peek: true}, true
 }
 
 // handle refs e and stamps its recency. Callers hold c.mu.
@@ -124,7 +131,7 @@ func (c *Cache) handle(e *cacheEntry) *Handle {
 	e.refs++
 	c.seq++
 	e.lastUse = c.seq
-	return &Handle{c: c, e: e}
+	return &Handle{c: c, e: e, gen: e.gen}
 }
 
 // evictLocked closes idle LRU entries until the budget holds (or only
@@ -150,12 +157,15 @@ func (c *Cache) evictLocked() {
 // Dataset returns the cached dataset. Valid until Release.
 func (h *Handle) Dataset() *Dataset { return h.e.ds }
 
-// Generation returns the open generation of the dataset: 1 for the first
-// open of a path, bumped every time the path is reopened after eviction.
-// Anything derived from the dataset (cached results, decoded views) keyed
-// by (path, generation) is therefore automatically invalidated by a
-// reopen.
-func (h *Handle) Generation() uint64 { return h.e.gen }
+// Generation returns the generation the handle was acquired at: 1 for
+// the first open of a path, bumped every time the path is reopened after
+// eviction or invalidation, and every time Bump marks the open dataset's
+// derivations stale. Anything derived from the dataset (cached results,
+// decoded views) keyed by (path, generation) is therefore automatically
+// invalidated by a reopen or a bump, while handles acquired before the
+// change keep reporting — and stay correctly keyed to — the generation
+// they actually saw.
+func (h *Handle) Generation() uint64 { return h.gen }
 
 // Release returns the handle. The dataset may be evicted (and its mapping
 // unmapped) any time afterwards, so the handle's graph must not be used
@@ -170,11 +180,56 @@ func (h *Handle) Release() {
 	}
 	h.released = true
 	h.e.refs--
+	if h.e.detached && h.e.refs == 0 {
+		h.e.ds.Close() // the invalidated dataset's last reader is gone
+		return
+	}
 	if !h.peek {
 		c.seq++
 		h.e.lastUse = c.seq
 	}
 	c.evictLocked()
+}
+
+// Bump advances the generation of path without reopening it: the open
+// dataset (if any) stays shared and every outstanding handle keeps its
+// acquired generation, but new acquisitions see the bumped value, so
+// anything keyed by (path, generation) — result caches, decoded views —
+// is invalidated. Update layers call it when they change what the stored
+// path logically serves (a new delta overlay generation) while the
+// underlying file is untouched. It returns the new generation.
+func (c *Cache) Bump(path string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[path]++
+	if e, ok := c.entries[path]; ok {
+		e.gen = c.gens[path]
+	}
+	return c.gens[path]
+}
+
+// Invalidate detaches the cached dataset for path, reporting whether an
+// entry was present: future Acquires reopen the file (at a bumped
+// generation), while the detached dataset stays open — and every
+// outstanding handle readable — until its last handle releases. Callers
+// that rewrite a stored graph in place (compaction) use it so new
+// requests map the new file while in-flight runs finish on the old one.
+func (c *Cache) Invalidate(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[path]
+	if !ok {
+		return false
+	}
+	delete(c.entries, path)
+	c.openWords -= e.words
+	c.evictions++
+	if e.refs == 0 {
+		e.ds.Close()
+	} else {
+		e.detached = true
+	}
+	return true
 }
 
 // Evict closes the idle cached dataset for path, reporting whether an

@@ -209,3 +209,166 @@ func TestCacheConcurrentAcquire(t *testing.T) {
 		t.Fatalf("concurrent acquire left %d datasets open", info.Open)
 	}
 }
+
+// TestCacheBumpKeepsHandleGenerations pins the Bump contract that the
+// serving layer's update endpoint depends on: a bump invalidates the
+// (path, generation) key for NEW acquisitions while handles acquired
+// before the bump keep reporting the generation they actually saw — and
+// their dataset stays readable.
+func TestCacheBumpKeepsHandleGenerations(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeGraph(t, dir, "a", 64)
+	c := store.NewCache(0)
+	defer c.Clear()
+
+	h1, err := c.Acquire(path, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Bump(path); got != 2 {
+		t.Fatalf("bump returned %d, want 2", got)
+	}
+	h2, err := c.Acquire(path, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Generation() != 1 || h2.Generation() != 2 {
+		t.Fatalf("generations %d/%d, want 1/2", h1.Generation(), h2.Generation())
+	}
+	if h1.Dataset() != h2.Dataset() {
+		t.Fatal("bump reopened the dataset")
+	}
+	if h1.Dataset().Adj().NumVertices() != 64 {
+		t.Fatal("pre-bump handle unreadable")
+	}
+	h1.Release()
+	h2.Release()
+
+	// A later reopen continues the sequence past the bumped value.
+	if !c.Evict(path) {
+		t.Fatal("idle entry not evicted")
+	}
+	h3, err := c.Acquire(path, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h3.Release()
+	if h3.Generation() != 3 {
+		t.Fatalf("generation after bump+reopen = %d, want 3", h3.Generation())
+	}
+}
+
+// TestCacheInvalidateDefersClose pins the compaction contract: after
+// Invalidate, new acquisitions reopen the file at a fresh generation
+// while the detached dataset stays open until its last pre-existing
+// handle releases.
+func TestCacheInvalidateDefersClose(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeGraph(t, dir, "a", 64)
+	c := store.NewCache(0)
+	defer c.Clear()
+
+	h1, err := c.Acquire(path, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := h1.Dataset()
+	if !c.Invalidate(path) {
+		t.Fatal("invalidate found no entry")
+	}
+	if c.Invalidate(path) {
+		t.Fatal("second invalidate found an entry")
+	}
+	if old.Closed() {
+		t.Fatal("invalidate closed a referenced dataset")
+	}
+
+	h2, err := c.Acquire(path, store.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if h2.Dataset() == old {
+		t.Fatal("acquire after invalidate returned the detached dataset")
+	}
+	if h2.Generation() != 2 {
+		t.Fatalf("generation after invalidate = %d, want 2", h2.Generation())
+	}
+	if old.Closed() {
+		t.Fatal("detached dataset closed while still referenced")
+	}
+	if old.Adj().NumVertices() != 64 {
+		t.Fatal("detached dataset unreadable")
+	}
+	h1.Release()
+	if !old.Closed() {
+		t.Fatal("detached dataset not closed by its last release")
+	}
+}
+
+// TestCacheBumpRacesPinning drives generation bumps and invalidations
+// against concurrent acquire/read/release cycles (run under -race in CI):
+// a pinned snapshot's dataset must stay readable until released, and a
+// handle's generation must never exceed one acquired after it.
+func TestCacheBumpRacesPinning(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeGraph(t, dir, "a", 128)
+	c := store.NewCache(0)
+	defer c.Clear()
+
+	stop := make(chan struct{})
+	var updater sync.WaitGroup
+	var wg sync.WaitGroup
+	updater.Add(1)
+	go func() { // the update/compact path
+		defer updater.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%5 == 4 {
+				c.Invalidate(path)
+			} else {
+				c.Bump(path)
+			}
+		}
+	}()
+	for w := 0; w < 8; w++ { // the request path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				h, err := c.Acquire(path, store.OpenOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				g1 := h.Generation()
+				if h.Dataset().Closed() {
+					t.Error("acquired dataset already closed")
+				}
+				if h.Dataset().Adj().NumVertices() != 128 {
+					t.Error("pinned dataset unreadable")
+				}
+				h2, err := c.Acquire(path, store.OpenOptions{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if h2.Generation() < g1 {
+					t.Errorf("generation went backwards: %d then %d", g1, h2.Generation())
+				}
+				if h.Dataset().Closed() || h2.Dataset().Closed() {
+					t.Error("dataset closed under a live handle")
+				}
+				h2.Release()
+				h.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	updater.Wait()
+}

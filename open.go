@@ -123,13 +123,18 @@ func GraphFromDataset(ds *store.Dataset) *Graph {
 	return &Graph{adj: ds.Adj(), raw: ds.CSR()}
 }
 
-// dataset wraps g for the storage layer.
+// dataset wraps g for the storage layer. Graph handles that are neither
+// CSR nor byte-compressed (a snapshot's merged overlay view) are
+// materialized first, so Create works on any handle.
 func (g *Graph) dataset() *store.Dataset {
 	g.check()
 	if g.raw != nil {
 		return store.NewDataset(g.raw, nil)
 	}
-	return store.NewDataset(nil, g.adj.(*compress.CGraph))
+	if cg, ok := g.adj.(*compress.CGraph); ok {
+		return store.NewDataset(nil, cg)
+	}
+	return store.NewDataset(materializeAdj(g.adj).raw, nil)
 }
 
 // Mapped reports whether the graph's adjacency arrays alias a live memory

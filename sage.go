@@ -32,6 +32,16 @@
 //
 //	g, err := sage.Open("web.sg")
 //	defer g.Close()
+//
+// Evolving graphs are served through batch-dynamic snapshots (see
+// snapshot.go): the stored base stays read-only while edge updates live
+// in a DRAM-resident delta, the semi-asymmetric split applied to
+// mutation itself. ApplyBatch returns a new immutable Snapshot sharing
+// the base zero-copy; every algorithm runs on a snapshot unchanged, and
+// Compact folds the delta into a fresh container file:
+//
+//	snap, err := g.Snapshot().ApplyBatch([]sage.EdgeOp{{U: 1, V: 2}})
+//	parents = e.MustBFS(snap.Graph(), 0)
 package sage
 
 import (
@@ -96,18 +106,24 @@ func (g *Graph) NumEdges() uint64 { g.check(); return g.adj.NumEdges() }
 func (g *Graph) Weighted() bool { g.check(); return g.adj.Weighted() }
 
 // Compressed reports whether the graph uses the byte-compressed format.
-func (g *Graph) Compressed() bool { g.check(); return g.raw == nil }
+func (g *Graph) Compressed() bool {
+	g.check()
+	_, ok := g.adj.(*compress.CGraph)
+	return ok
+}
 
 // Degree returns deg(v).
 func (g *Graph) Degree(v uint32) uint32 { g.check(); return g.adj.Degree(v) }
 
-// SizeWords returns the simulated NVRAM footprint.
+// SizeWords returns the simulated NVRAM footprint. For snapshot views
+// this is the base's footprint; the DRAM-resident delta is reported by
+// Snapshot.DeltaWords instead.
 func (g *Graph) SizeWords() int64 {
 	g.check()
 	if g.raw != nil {
 		return g.raw.SizeWords()
 	}
-	return g.adj.(*compress.CGraph).SizeWords()
+	return g.adj.(interface{ SizeWords() int64 }).SizeWords()
 }
 
 // Edge is an undirected edge.
