@@ -10,6 +10,7 @@
 // Endpoints:
 //
 //	GET  /healthz                      liveness + uptime
+//	GET  /readyz                       routing readiness (503 during WAL replay and drain)
 //	GET  /v1/datasets                  catalog listing (with live delta state)
 //	GET  /v1/algorithms                registry with the JSON args schema
 //	POST /v1/run/{dataset}/{algo}      run; JSON body = args, e.g. {"src": 3}
@@ -18,14 +19,24 @@
 //
 // Admission control: -max-concurrent bounds runs in flight and
 // -dram-budget bounds their summed estimated DRAM residency in simulated
-// words; excess load is shed with 429 + Retry-After. A client disconnect
-// cancels its run at the next frontier/iteration boundary.
+// words; excess load is shed with 429 + a Retry-After computed from live
+// queue state. A client disconnect cancels its run at the next
+// frontier/iteration boundary.
 //
 // Batch updates keep the stored file immutable: edge inserts/deletes live
 // in a DRAM-resident delta overlay, served as immutable snapshots so
 // in-flight runs finish on the version they started with. -delta-budget
 // bounds each overlay's DRAM words (batches beyond it answer 507 until a
 // {"compact": true} update folds the overlay into a rewritten file).
+//
+// Durability: with -wal (the default), every accepted batch is appended
+// to a per-dataset write-ahead log at <path>.wal — fsynced per
+// -wal-fsync before the 200 is written — and replayed onto the stored
+// file at startup, so updates survive a crash or kill. When the log is
+// unwritable (disk full, I/O errors) the dataset degrades to read-only:
+// reads keep serving, writes answer 503 {"reason": "read_only"}, and the
+// dataset heals automatically when the disk does. A compaction folds the
+// logged batches into the rewritten container and retires the segment.
 // See docs/HTTP_API.md for the full endpoint reference.
 //
 // Usage:
@@ -52,6 +63,7 @@ import (
 
 	"sage"
 	"sage/internal/server"
+	"sage/internal/wal"
 )
 
 func main() {
@@ -68,6 +80,10 @@ func main() {
 	maxRun := flag.Duration("max-run", 0, "per-run execution limit (0 = unbounded)")
 	copyDatasets := flag.Bool("copy", false, "load datasets into private heap memory instead of memory-mapping")
 	preload := flag.Bool("preload", false, "open every dataset at startup instead of lazily")
+	walEnabled := flag.Bool("wal", true, "write-ahead log update batches to <dataset>.wal and replay them at startup")
+	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always|interval|never")
+	walInterval := flag.Duration("wal-interval", 100*time.Millisecond, "background flush period under -wal-fsync interval")
+	drainGrace := flag.Duration("drain-grace", 0, "delay between /readyz reporting draining and connection shutdown, for load balancers to catch up")
 
 	type namedPath struct{ name, path string }
 	var datasets []namedPath
@@ -109,6 +125,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategyName)
 		os.Exit(2)
 	}
+	walPolicy, err := wal.ParsePolicy(*walFsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Engine:             sage.NewEngine(sage.WithMode(mode), sage.WithStrategy(strategy)),
@@ -121,6 +142,11 @@ func main() {
 		QueueWait:          *queueWait,
 		MaxRunDuration:     *maxRun,
 		CopyDatasets:       *copyDatasets,
+		Durability: server.Durability{
+			Enabled:  *walEnabled,
+			Policy:   walPolicy,
+			Interval: *walInterval,
+		},
 	})
 	names := make([]string, 0, len(datasets))
 	for _, d := range datasets {
@@ -143,24 +169,43 @@ func main() {
 	}
 
 	// Bind before announcing, so "serving" in the log means reachable.
+	// WAL replay runs after the listener is up: /readyz answers 503
+	// ("starting") until Recover finishes, so load balancers hold traffic
+	// while large logs replay, then flip to ready.
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
 	httpSrv := &http.Server{Handler: srv}
-	log.Printf("sage-serve: %d dataset(s) [%s], %d algorithms, mode %s, serving on %s",
-		len(names), strings.Join(names, ", "), len(sage.AlgorithmNames()), *modeName, ln.Addr())
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
+	if *walEnabled {
+		replayed, degraded := srv.Recover()
+		if replayed > 0 {
+			log.Printf("sage-serve: replayed %d write-ahead batch(es)", replayed)
+		}
+		for _, name := range degraded {
+			log.Printf("sage-serve: dataset %s is read-only (write-ahead log unavailable)", name)
+		}
+	}
+	log.Printf("sage-serve: %d dataset(s) [%s], %d algorithms, mode %s, serving on %s",
+		len(names), strings.Join(names, ", "), len(sage.AlgorithmNames()), *modeName, ln.Addr())
+
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
+	}
+	// Graceful drain: flip /readyz to 503 first so load balancers stop
+	// routing, give them -drain-grace to notice, then close connections.
+	srv.BeginDrain()
+	log.Printf("sage-serve: draining")
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
 	}
 	log.Printf("sage-serve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -34,7 +34,9 @@ type admission struct {
 	mu            sync.Mutex
 	inflightWords int64
 	inflightRuns  int
+	ewmaRunNanos  int64 // smoothed run duration feeding Retry-After
 
+	waiting       atomic.Int64 // runs parked in the queue-wait window
 	rejectedSlots atomic.Int64
 	rejectedWords atomic.Int64
 }
@@ -65,6 +67,8 @@ func (a *admission) admit(ctx context.Context, words int64) (release func(), gat
 		}
 		t := time.NewTimer(a.queueWait)
 		defer t.Stop()
+		a.waiting.Add(1)
+		defer a.waiting.Add(-1)
 		select {
 		case a.slots <- struct{}{}:
 		case <-ctx.Done():
@@ -103,16 +107,59 @@ func (a *admission) admit(ctx context.Context, words int64) (release func(), gat
 	}, "", true
 }
 
+// observe feeds one completed run's duration into the smoothed estimate
+// behind Retry-After (EWMA, alpha = 1/5: responsive to load shifts
+// without tracking every outlier).
+func (a *admission) observe(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ewmaRunNanos == 0 {
+		a.ewmaRunNanos = int64(d)
+	} else {
+		a.ewmaRunNanos += (int64(d) - a.ewmaRunNanos) / 5
+	}
+}
+
+// retryAfterSeconds estimates when shed load should come back, from
+// actual admission state: the queue ahead of a retrying client is every
+// waiting run plus itself, drained at capacity slots per smoothed run
+// duration. Clamped to [1, 60] — Retry-After must be a positive integer,
+// and beyond a minute the estimate is noise.
+func (a *admission) retryAfterSeconds() int {
+	a.mu.Lock()
+	ewma := a.ewmaRunNanos
+	a.mu.Unlock()
+	if ewma == 0 {
+		ewma = int64(time.Second) // no history yet: assume second-scale runs
+	}
+	queued := a.waiting.Load() + 1
+	per := time.Duration(ewma).Seconds() * float64(queued) / float64(cap(a.slots))
+	secs := int(per)
+	if float64(secs) < per {
+		secs++ // round up: retrying early just sheds again
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // snapshot returns the controller's current gauges and counters.
 func (a *admission) snapshot() admissionStats {
 	a.mu.Lock()
-	runs, words := a.inflightRuns, a.inflightWords
+	runs, words, ewma := a.inflightRuns, a.inflightWords, a.ewmaRunNanos
 	a.mu.Unlock()
 	return admissionStats{
 		MaxConcurrent:      cap(a.slots),
 		DRAMBudgetWords:    a.budget,
 		InflightRuns:       runs,
 		InflightDRAMWords:  words,
+		WaitingRuns:        a.waiting.Load(),
+		EWMARunMS:          float64(ewma) / 1e6,
+		RetryAfterS:        a.retryAfterSeconds(),
 		RejectedConcurrent: a.rejectedSlots.Load(),
 		RejectedDRAM:       a.rejectedWords.Load(),
 	}
@@ -120,10 +167,13 @@ func (a *admission) snapshot() admissionStats {
 
 // admissionStats is the /metrics view of the controller.
 type admissionStats struct {
-	MaxConcurrent      int   `json:"max_concurrent"`
-	DRAMBudgetWords    int64 `json:"dram_budget_words"`
-	InflightRuns       int   `json:"inflight_runs"`
-	InflightDRAMWords  int64 `json:"inflight_dram_words"`
-	RejectedConcurrent int64 `json:"rejected_concurrency"`
-	RejectedDRAM       int64 `json:"rejected_dram"`
+	MaxConcurrent      int     `json:"max_concurrent"`
+	DRAMBudgetWords    int64   `json:"dram_budget_words"`
+	InflightRuns       int     `json:"inflight_runs"`
+	InflightDRAMWords  int64   `json:"inflight_dram_words"`
+	WaitingRuns        int64   `json:"waiting_runs"`
+	EWMARunMS          float64 `json:"ewma_run_ms"`
+	RetryAfterS        int     `json:"retry_after_s"`
+	RejectedConcurrent int64   `json:"rejected_concurrency"`
+	RejectedDRAM       int64   `json:"rejected_dram"`
 }

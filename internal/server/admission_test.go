@@ -1,0 +1,59 @@
+package server
+
+// Retry-After is computed from live admission state; pin down the
+// estimator's arithmetic, its no-history default, and its clamps.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryAfterFromAdmissionState(t *testing.T) {
+	a := newAdmission(2, 0, 0)
+
+	// No history: assume second-scale runs, one client in the queue.
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Fatalf("no-history Retry-After = %d, want 1", got)
+	}
+
+	// EWMA seeded at 3s, capacity 2, no one else waiting:
+	// ceil(3 * 1 / 2) = 2.
+	a.observe(3 * time.Second)
+	if got := a.retryAfterSeconds(); got != 2 {
+		t.Fatalf("Retry-After = %d, want 2", got)
+	}
+
+	// Queue depth scales the estimate: 3 waiting + self = 4 ahead,
+	// drained 2 at a time → ceil(3 * 4 / 2) = 6.
+	a.waiting.Store(3)
+	if got := a.retryAfterSeconds(); got != 6 {
+		t.Fatalf("queued Retry-After = %d, want 6", got)
+	}
+	a.waiting.Store(0)
+
+	// The EWMA converges toward new durations instead of jumping.
+	a.observe(8 * time.Second) // 3 + (8-3)/5 = 4s
+	if got := a.retryAfterSeconds(); got != 2 {
+		t.Fatalf("smoothed Retry-After = %d, want 2", got)
+	}
+
+	// Far-future estimates clamp at a minute: beyond that it is noise.
+	for i := 0; i < 50; i++ {
+		a.observe(10 * time.Minute)
+	}
+	if got := a.retryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped Retry-After = %d, want 60", got)
+	}
+}
+
+func TestObserveFeedsMetrics(t *testing.T) {
+	a := newAdmission(4, 0, 0)
+	a.observe(500 * time.Millisecond)
+	s := a.snapshot()
+	if s.EWMARunMS != 500 {
+		t.Fatalf("EWMARunMS = %v", s.EWMARunMS)
+	}
+	if s.RetryAfterS < 1 {
+		t.Fatalf("RetryAfterS = %d", s.RetryAfterS)
+	}
+}

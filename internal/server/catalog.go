@@ -63,6 +63,18 @@ func (c *catalog) add(name, path string) error {
 	return nil
 }
 
+// names returns the registered dataset names in sorted order.
+func (c *catalog) names() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.paths))
+	for name := range c.paths {
+		out = append(out, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // path resolves a dataset name to its stored path.
 func (c *catalog) path(name string) (string, error) {
 	c.mu.Lock()
@@ -104,6 +116,10 @@ type datasetInfo struct {
 	DeltaWords       int64  `json:"delta_words,omitempty"`
 	DeltaArcsAdded   uint64 `json:"delta_arcs_added,omitempty"`
 	DeltaArcsDeleted uint64 `json:"delta_arcs_deleted,omitempty"`
+	// ReadOnly reports the WAL-unavailable degraded state: reads keep
+	// serving, writes answer 503 until the log heals.
+	ReadOnly       bool   `json:"read_only,omitempty"`
+	ReadOnlyReason string `json:"read_only_reason,omitempty"`
 }
 
 // list returns the catalog sorted by name.

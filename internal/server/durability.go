@@ -1,0 +1,294 @@
+package server
+
+// The durable half of the update path. Without it, every delta overlay
+// is DRAM-only: a crash loses all batches applied since the last
+// compaction, and a restarted server silently serves the stale base. With
+// durability enabled, each dataset gets a write-ahead segment at
+// <path>.wal (internal/wal): an accepted batch is appended — and, under
+// the "always" fsync policy, on disk — before its overlay becomes
+// visible, so the served state is always reconstructible from (container
+// generation, surviving log records). Recovery replays those records onto
+// the stored base; compaction folds them into a new container generation
+// and retires the segment.
+//
+// Degradation is graceful and self-healing: when the segment cannot be
+// appended to (disk full, fsync failure, a segment that failed to open),
+// the dataset drops to read-only — writes answer 503 with a
+// machine-readable reason while reads keep serving — and the next write
+// attempt probes the log again, so the dataset recovers the moment the
+// disk does, without a restart.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sage"
+	"sage/internal/wal"
+)
+
+// WALSuffix is appended to a dataset's stored path to name its
+// write-ahead segment.
+const WALSuffix = ".wal"
+
+// Durability configures the write-ahead log guarding update batches.
+// The zero value disables it (updates are DRAM-only, pre-WAL behavior).
+type Durability struct {
+	// Enabled turns the per-dataset write-ahead log on.
+	Enabled bool
+	// Policy selects when appended batches are fsynced (default
+	// wal.SyncAlways: a batch is durable before its 200 is written).
+	Policy wal.SyncPolicy
+	// Interval is the background flush period under wal.SyncInterval.
+	Interval time.Duration
+	// FS substitutes the filesystem the segments live on; nil means the
+	// real one. Tests inject wal.FaultFS here to simulate crashes, short
+	// writes, and fsync failures.
+	FS wal.FS
+}
+
+// errReadOnly marks a write rejected because the dataset's WAL is
+// unwritable (503 with reason "read_only").
+var errReadOnly = errors.New("dataset is read-only: write-ahead log unavailable")
+
+// walState is one dataset's durability state. The log pointer is guarded
+// by the dataset's update lock (it is only touched on the serialized
+// write path); readOnly/reason/replayed are guarded by updates.mu so
+// listings and metrics can read them without blocking writers.
+type walState struct {
+	log      *wal.Log // nil when the segment could not be opened
+	readOnly bool
+	reason   string // degradation cause, "" when healthy
+	replayed int    // batches recovered when the segment was opened
+}
+
+// setWALHealth records the outcome of the latest log operation: a nil
+// err restores the dataset to writable, a non-nil one degrades it to
+// read-only with the error as the reason.
+func (u *updates) setWALHealth(ws *walState, err error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err != nil {
+		ws.readOnly, ws.reason = true, err.Error()
+	} else {
+		ws.readOnly, ws.reason = false, ""
+	}
+}
+
+// walInfo reports name's durability state for listings: whether the
+// dataset is currently read-only and why.
+func (u *updates) walInfo(name string) (readOnly bool, reason string) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if ws, ok := u.walStates[name]; ok {
+		return ws.readOnly, ws.reason
+	}
+	return false, ""
+}
+
+// recoverLocked opens name's WAL segment and replays surviving records
+// onto the stored base, installing the recovered snapshot as the current
+// version. It runs once per dataset — the walStates entry memoizes the
+// outcome, including failure (the dataset is then read-only until a
+// retried recovery succeeds). The caller holds the dataset update lock.
+func (u *updates) recoverLocked(name, path string) *walState {
+	u.mu.Lock()
+	ws, ok := u.walStates[name]
+	u.mu.Unlock()
+	if ok {
+		return ws
+	}
+	ws = &walState{}
+	defer func() {
+		u.mu.Lock()
+		u.walStates[name] = ws
+		u.mu.Unlock()
+	}()
+	u.openSegment(ws, name, path)
+	return ws
+}
+
+// openSegment fingerprints the container, opens (or creates) its WAL
+// segment, and replays surviving records. On any failure the dataset is
+// left read-only with the cause as the machine-readable reason; reads
+// keep serving the base. Caller holds the dataset update lock.
+func (u *updates) openSegment(ws *walState, name, path string) {
+	fp, err := wal.FingerprintFile(u.wcfg.FS, path)
+	if err != nil {
+		u.setWALHealth(ws, fmt.Errorf("fingerprinting container: %w", err))
+		return
+	}
+	log, rec, err := wal.Open(path+WALSuffix, fp, wal.Options{
+		FS: u.wcfg.FS, Policy: u.wcfg.Policy, Interval: u.wcfg.Interval,
+	})
+	if err != nil {
+		u.setWALHealth(ws, err)
+		return
+	}
+	ws.log = log
+	u.setWALHealth(ws, nil)
+	if rec.Discarded {
+		u.walDiscarded.Add(1)
+	}
+	if len(rec.Batches) == 0 {
+		return
+	}
+
+	// Replay. A current version can only exist if a previous recovery
+	// succeeded, and successful recoveries never rerun; guard anyway so a
+	// logic error cannot double-apply batches.
+	u.mu.Lock()
+	hasVersion := u.versions[name] != nil
+	u.mu.Unlock()
+	if hasVersion {
+		return
+	}
+	h, err := u.catalog.acquire(name)
+	if err != nil {
+		log.Close()
+		ws.log = nil
+		u.setWALHealth(ws, fmt.Errorf("opening base for replay: %w", err))
+		return
+	}
+	snap := sage.GraphFromDataset(h.Dataset()).Snapshot()
+	good := wal.HeaderSize()
+	replayed := 0
+	for _, b := range rec.Batches {
+		next, err := snap.ApplyBatch(edgeOps(b.Ops))
+		if err != nil {
+			// A record that no longer applies to this base is cut off like
+			// a torn tail: everything before it is the recovered state.
+			log.TruncateTo(good)
+			break
+		}
+		snap = next
+		good = b.EndOff
+		replayed++
+	}
+	u.walReplayed.Add(int64(replayed))
+	u.mu.Lock()
+	ws.replayed = replayed
+	u.mu.Unlock()
+	if snap.DeltaWords() == 0 {
+		// The surviving batches cancel out (or were all no-ops): the base
+		// is already the recovered state.
+		h.Release()
+		return
+	}
+	gen := u.catalog.cache.Bump(path)
+	nv := &snapVersion{snap: snap, gen: gen, ds: h.Dataset(), h: h, refs: 1}
+	u.mu.Lock()
+	u.versions[name] = nv
+	u.mu.Unlock()
+}
+
+// ensureRecovered replays name's surviving WAL records (once) before a
+// read or write observes the dataset. Cheap after the first call.
+func (u *updates) ensureRecovered(name string) {
+	if !u.wcfg.Enabled {
+		return
+	}
+	u.mu.Lock()
+	_, done := u.walStates[name]
+	u.mu.Unlock()
+	if done {
+		return
+	}
+	path, err := u.catalog.path(name)
+	if err != nil {
+		return // unknown dataset: the caller surfaces the 404
+	}
+	l := u.lockDataset(name)
+	l.Lock()
+	defer l.Unlock()
+	u.recoverLocked(name, path)
+}
+
+// walAppend makes one batch durable per the configured policy, before
+// the overlay becomes visible. A failure degrades the dataset to
+// read-only and rejects the write; the log itself cleans any torn record
+// off its tail, so the next attempt probes a healthy disk successfully
+// and the dataset recovers without intervention. Caller holds the
+// dataset update lock.
+func (u *updates) walAppend(ws *walState, name string, ops []sage.EdgeOp) error {
+	if ws.log == nil {
+		u.readOnlyRejected.Add(1)
+		_, reason := u.walInfo(name)
+		return fmt.Errorf("%w (dataset %q): %s", errReadOnly, name, reason)
+	}
+	if _, err := ws.log.Append(walOps(ops)); err != nil {
+		u.setWALHealth(ws, err)
+		u.readOnlyRejected.Add(1)
+		return fmt.Errorf("%w (dataset %q): %v", errReadOnly, name, err)
+	}
+	u.walAppends.Add(1)
+	u.setWALHealth(ws, nil)
+	return nil
+}
+
+// retireSegment retires name's WAL after a compaction durably replaced
+// the container: the folded records must never replay onto the new
+// generation. Even if the process dies before the removal lands, the
+// stale segment's base fingerprint no longer matches the rewritten
+// container, so recovery discards it — removal is cleanup, not
+// correctness. A fresh segment is then opened for the new generation.
+// Caller holds the dataset update lock.
+func (u *updates) retireSegment(ws *walState, name, path string) {
+	if ws == nil {
+		return
+	}
+	if ws.log != nil {
+		ws.log.CloseAndRemove()
+		ws.log = nil
+	}
+	u.openSegment(ws, name, path)
+}
+
+// walSnapshot reports the durability layer for /metrics.
+func (u *updates) walSnapshot() walStats {
+	s := walStats{Enabled: u.wcfg.Enabled, Policy: u.wcfg.Policy.String()}
+	if !u.wcfg.Enabled {
+		return s
+	}
+	u.mu.Lock()
+	for _, ws := range u.walStates {
+		if ws.readOnly {
+			s.ReadOnlyDatasets++
+		}
+	}
+	u.mu.Unlock()
+	s.Appends = u.walAppends.Load()
+	s.ReplayedBatches = u.walReplayed.Load()
+	s.DiscardedSegments = u.walDiscarded.Load()
+	s.RejectedReadOnly = u.readOnlyRejected.Load()
+	return s
+}
+
+// walStats is the /metrics view of the durability layer.
+type walStats struct {
+	Enabled           bool   `json:"enabled"`
+	Policy            string `json:"policy"`
+	ReadOnlyDatasets  int    `json:"read_only_datasets"`
+	Appends           int64  `json:"appends"`
+	ReplayedBatches   int64  `json:"replayed_batches"`
+	DiscardedSegments int64  `json:"discarded_segments"`
+	RejectedReadOnly  int64  `json:"rejected_read_only"`
+}
+
+// walOps converts a validated batch to its log form.
+func walOps(ops []sage.EdgeOp) []wal.Op {
+	out := make([]wal.Op, len(ops))
+	for i, op := range ops {
+		out[i] = wal.Op{U: op.U, V: op.V, W: op.W, Del: op.Del}
+	}
+	return out
+}
+
+// edgeOps converts replayed log records back to batch form.
+func edgeOps(ops []wal.Op) []sage.EdgeOp {
+	out := make([]sage.EdgeOp, len(ops))
+	for i, op := range ops {
+		out[i] = sage.EdgeOp{U: op.U, V: op.V, W: op.W, Del: op.Del}
+	}
+	return out
+}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,11 @@ type Config struct {
 	// CopyDatasets opens datasets into private heap memory instead of
 	// memory-mapping them.
 	CopyDatasets bool
+	// Durability configures the per-dataset write-ahead log: update
+	// batches are logged (and fsynced per policy) before their overlay
+	// becomes visible, and replayed onto the stored base at startup. The
+	// zero value disables it. See durability.go.
+	Durability Durability
 }
 
 // Server is the sage-serve HTTP handler. Create with New, register
@@ -78,6 +84,13 @@ type Server struct {
 	maxRun  time.Duration
 	mux     *http.ServeMux
 	started time.Time
+
+	// ready flips true once startup WAL replay (Recover) has finished;
+	// draining flips true when graceful shutdown begins. Both are served
+	// by /readyz so load balancers route around a starting or stopping
+	// replica while /healthz keeps reporting liveness.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	runsStarted   atomic.Int64
 	runsOK        atomic.Int64
@@ -108,8 +121,12 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
-	s.updates = newUpdates(s.catalog, cfg.DeltaBudgetWords)
+	s.updates = newUpdates(s.catalog, cfg.DeltaBudgetWords, cfg.Durability)
+	// Without a WAL there is nothing to replay, so the server is ready the
+	// moment it exists; with one, readiness waits for Recover.
+	s.ready.Store(!cfg.Durability.Enabled)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/run/{dataset}/{algo}", s.handleRun)
@@ -135,8 +152,35 @@ func (s *Server) Preload(name string) error {
 	return nil
 }
 
-// Close drops every update overlay and releases every idle resident
-// dataset. Call after the HTTP server has shut down (no runs in flight).
+// Recover replays every registered dataset's surviving write-ahead
+// records onto its stored base and marks the server ready. Call it after
+// the datasets are registered and before routing traffic (requests
+// arriving earlier are still served correctly — the first touch of a
+// dataset replays it lazily — but /readyz answers 503 until Recover
+// completes). It returns the number of batches replayed and the names of
+// datasets left read-only because their segment could not be opened.
+func (s *Server) Recover() (replayed int, degraded []string) {
+	for _, name := range s.catalog.names() {
+		s.updates.ensureRecovered(name)
+	}
+	for _, name := range s.catalog.names() {
+		if ro, _ := s.updates.walInfo(name); ro {
+			degraded = append(degraded, name)
+		}
+	}
+	s.ready.Store(true)
+	return int(s.updates.walReplayed.Load()), degraded
+}
+
+// BeginDrain marks the server draining: /readyz answers 503 so load
+// balancers stop routing new work, while in-flight requests (and reads
+// from clients that already resolved this replica) keep being served.
+// Call it before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close drops every update overlay, closes every WAL segment, and
+// releases every idle resident dataset. Call after the HTTP server has
+// shut down (no runs in flight).
 func (s *Server) Close() error {
 	s.updates.close()
 	return s.catalog.close()
@@ -222,6 +266,15 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// writeErrorReason adds a machine-readable reason field ("read_only",
+// "draining", ...) so clients can branch without parsing the human text.
+func writeErrorReason(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	writeJSON(w, code, map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"reason": reason,
+	})
+}
+
 // --------------------------------------------------------------------
 // Handlers.
 // --------------------------------------------------------------------
@@ -231,6 +284,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":   "ok",
 		"uptime_s": time.Since(s.started).Seconds(),
 	})
+}
+
+// handleReadyz is the routing signal, distinct from /healthz liveness: a
+// replica mid-startup (WAL replay) or mid-drain is alive but must not
+// receive new traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "draining", "reason": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "starting", "reason": "wal_replay"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
@@ -245,6 +314,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 			infos[i].DeltaArcsAdded, infos[i].DeltaArcsDeleted = v.snap.DeltaArcs()
 			s.updates.unref(v)
 		}
+		infos[i].ReadOnly, infos[i].ReadOnlyReason = s.updates.walInfo(infos[i].Name)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": infos})
 }
@@ -366,7 +436,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// shed, so neither runs.cancelled nor a rejection counts.
 			return
 		}
-		w.Header().Set("Retry-After", "1")
+		// Retry-After is computed from live admission state (queue depth ×
+		// observed run duration / capacity), not a constant: a saturated
+		// server with slow runs pushes clients further out than a blip.
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests,
 			"overloaded (%s limit): retry later", gate)
 		return
@@ -384,6 +457,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.engine.RunAlgorithm(ctx, algoName, g, canon)
 	elapsed := time.Since(start)
+	s.adm.observe(elapsed) // feeds the Retry-After estimate
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -491,6 +565,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInsufficientStorage, "%v", err)
 		case errors.Is(err, sage.ErrBadEdgeOp):
 			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, errReadOnly):
+			// The WAL is unwritable: the dataset serves reads but cannot
+			// accept writes until the log heals (which the next write
+			// attempt probes automatically).
+			writeErrorReason(w, http.StatusServiceUnavailable, "read_only", "%v", err)
 		default:
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
@@ -536,5 +615,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"result_cache": s.results.snapshot(),
 		"datasets":     s.catalog.cacheInfo(),
 		"updates":      s.updates.snapshot(),
+		"wal":          s.updates.walSnapshot(),
 	})
 }

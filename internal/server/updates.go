@@ -29,6 +29,7 @@ import (
 
 	"sage"
 	"sage/internal/store"
+	"sage/internal/wal"
 )
 
 // errDeltaBudget marks a rejected over-budget batch (507).
@@ -48,24 +49,35 @@ type snapVersion struct {
 // updates owns the per-dataset snapshot versions and serializes batches.
 type updates struct {
 	catalog *catalog
-	budget  int64 // max overlay DRAM words per dataset; 0 = unlimited
+	budget  int64      // max overlay DRAM words per dataset; 0 = unlimited
+	wcfg    Durability // write-ahead log configuration (see durability.go)
 
-	mu       sync.Mutex
-	versions map[string]*snapVersion
-	locks    map[string]*sync.Mutex // per-dataset update serialization
+	mu        sync.Mutex
+	versions  map[string]*snapVersion
+	locks     map[string]*sync.Mutex // per-dataset update serialization
+	walStates map[string]*walState   // per-dataset durability state
 
-	batches       atomic.Int64
-	opsApplied    atomic.Int64
-	compactions   atomic.Int64
-	rejectedDelta atomic.Int64
+	batches          atomic.Int64
+	opsApplied       atomic.Int64
+	compactions      atomic.Int64
+	rejectedDelta    atomic.Int64
+	walAppends       atomic.Int64
+	walReplayed      atomic.Int64
+	walDiscarded     atomic.Int64
+	readOnlyRejected atomic.Int64
 }
 
-func newUpdates(c *catalog, budgetWords int64) *updates {
+func newUpdates(c *catalog, budgetWords int64, wcfg Durability) *updates {
+	if wcfg.FS == nil {
+		wcfg.FS = wal.OS
+	}
 	return &updates{
-		catalog:  c,
-		budget:   budgetWords,
-		versions: map[string]*snapVersion{},
-		locks:    map[string]*sync.Mutex{},
+		catalog:   c,
+		budget:    budgetWords,
+		wcfg:      wcfg,
+		versions:  map[string]*snapVersion{},
+		locks:     map[string]*sync.Mutex{},
+		walStates: map[string]*walState{},
 	}
 }
 
@@ -129,7 +141,15 @@ type updateResult struct {
 // apply folds ops into name's current snapshot (creating the identity
 // snapshot on first update), optionally compacting afterwards. It returns
 // errUnknownDataset, errDeltaBudget, a sage validation error (client
-// errors), or an IO error.
+// errors), errReadOnly (the WAL is unwritable, 503), or an IO error.
+//
+// With durability enabled the batch is appended to the dataset's
+// write-ahead segment — and, under the always policy, fsynced — after
+// validation but before the overlay becomes visible, so the published
+// state never gets ahead of the log. A compaction requested alongside ops
+// is a second phase: if the container rewrite fails, the (already
+// durable, already published) overlay stands and only the fold is
+// reported failed — exactly the state crash recovery would rebuild.
 func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateResult, error) {
 	path, err := u.catalog.path(name)
 	if err != nil {
@@ -139,6 +159,21 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 	l := u.lockDataset(name)
 	l.Lock()
 	defer l.Unlock()
+
+	var ws *walState
+	if u.wcfg.Enabled {
+		ws = u.recoverLocked(name, path)
+		if ws.log == nil {
+			// The segment failed to open (or to reopen after compaction).
+			// Retry the whole recovery so a healed disk needs no restart;
+			// with no open segment there can be no current version, so a
+			// fresh replay cannot double-apply anything.
+			u.mu.Lock()
+			delete(u.walStates, name)
+			u.mu.Unlock()
+			ws = u.recoverLocked(name, path)
+		}
+	}
 
 	// The new version needs its own pin on the base mapping. While we hold
 	// the dataset's update lock no compaction can invalidate the entry,
@@ -174,27 +209,23 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 			errDeltaBudget, next.DeltaWords(), u.budget)
 	}
 
-	res := &updateResult{vertices: next.NumVertices(), edges: next.NumEdges()}
-	if compact {
-		if err := next.Compact(path); err != nil {
+	// A batch of pure no-ops on a dataset with no overlay changes nothing:
+	// nothing is swapped, logged, or invalidated (a compaction requested
+	// alongside still runs).
+	noop := cur == nil && next.DeltaWords() == 0
+
+	// Durability barrier: the batch reaches the log before it reaches any
+	// reader. A failed append rejects the batch with the dataset read-only
+	// and no published state changed.
+	if ws != nil && len(ops) > 0 && !noop {
+		if err := u.walAppend(ws, name, ops); err != nil {
 			h.Release()
-			return nil, fmt.Errorf("compacting %q: %w", name, err)
+			return nil, err
 		}
-		h.Release()
-		u.catalog.cache.Invalidate(path)
-		u.retire(name)
-		// Reopen the compacted file now: a broken write surfaces here, and
-		// the response carries the generation new requests will see.
-		h2, err := u.catalog.acquire(name)
-		if err != nil {
-			return nil, fmt.Errorf("reopening compacted %q: %w", name, err)
-		}
-		res.generation = h2.Generation()
-		h2.Release()
-		u.compactions.Add(1)
-	} else if next.DeltaWords() == 0 && cur == nil {
-		// A batch of pure no-ops on a dataset with no overlay: nothing
-		// changed, so nothing is swapped or invalidated.
+	}
+
+	res := &updateResult{vertices: next.NumVertices(), edges: next.NumEdges()}
+	if noop {
 		res.generation = h.Generation()
 		h.Release()
 	} else {
@@ -217,10 +248,47 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 			}
 		}
 	}
-	res.compacted = compact
-	u.batches.Add(1)
-	u.opsApplied.Add(int64(len(ops)))
+	if len(ops) > 0 {
+		u.batches.Add(1)
+		u.opsApplied.Add(int64(len(ops)))
+	}
+
+	if compact {
+		if err := u.compactLocked(name, path, ws, next, res); err != nil {
+			return nil, err
+		}
+		res.compacted = true
+		res.deltaWords = 0
+		res.arcsAdded, res.arcsDeleted = 0, 0
+	}
 	return res, nil
+}
+
+// compactLocked folds next's merged view into a rewritten container
+// (atomic temp-file rename through Create), swaps readers onto the new
+// generation, and retires the WAL segment whose records were folded in.
+// Caller holds the dataset update lock; next's overlay state has already
+// been published (or is empty), so a failure here leaves a consistent,
+// durable overlay behind.
+func (u *updates) compactLocked(name, path string, ws *walState, next *sage.Snapshot, res *updateResult) error {
+	if err := next.Compact(path); err != nil {
+		return fmt.Errorf("compacting %q: %w", name, err)
+	}
+	// The new container is durably in place. Swap readers over (in-flight
+	// runs finish on the detached old mapping) and retire the folded log.
+	u.catalog.cache.Invalidate(path)
+	u.retire(name)
+	u.retireSegment(ws, name, path)
+	// Reopen the compacted file now: a broken write surfaces here, and
+	// the response carries the generation new requests will see.
+	h2, err := u.catalog.acquire(name)
+	if err != nil {
+		return fmt.Errorf("reopening compacted %q: %w", name, err)
+	}
+	res.generation = h2.Generation()
+	h2.Release()
+	u.compactions.Add(1)
+	return nil
 }
 
 // retire removes name's current version (if any), dropping the map's
@@ -236,16 +304,28 @@ func (u *updates) retire(name string) {
 }
 
 // close retires every version (in-flight pins still defer the base
-// release until their runs end).
+// release until their runs end) and closes every WAL segment, flushing
+// appended records per policy.
 func (u *updates) close() {
 	u.mu.Lock()
 	names := make([]string, 0, len(u.versions))
 	for name := range u.versions {
 		names = append(names, name)
 	}
+	logs := make([]*wal.Log, 0, len(u.walStates))
+	for _, ws := range u.walStates {
+		if ws.log != nil {
+			logs = append(logs, ws.log)
+			ws.log = nil
+		}
+	}
+	u.walStates = map[string]*walState{}
 	u.mu.Unlock()
 	for _, name := range names {
 		u.retire(name)
+	}
+	for _, l := range logs {
+		l.Close()
 	}
 }
 
@@ -276,8 +356,11 @@ type updateStats struct {
 
 // pinForRun resolves what a run on name should execute against: the
 // current snapshot version (pinned for the run's duration) when the
-// dataset has an overlay, else the plain cached dataset.
+// dataset has an overlay, else the plain cached dataset. The first pin
+// of a dataset replays its surviving WAL records, so reads observe
+// recovered batches even before Recover has walked the catalog.
 func (s *Server) pinForRun(name string) (g *sage.Graph, gen uint64, release func(), err error) {
+	s.updates.ensureRecovered(name)
 	if v := s.updates.pin(name); v != nil {
 		return v.snap.Graph(), v.gen, func() { s.updates.unref(v) }, nil
 	}

@@ -270,6 +270,18 @@ func Create(path string, d *Dataset, formatName string) error {
 	if err := bw.Flush(); err != nil {
 		return fail(err)
 	}
+	if err := faultPoint("write", path); err != nil {
+		return fail(err)
+	}
+	// Fsync before the rename: the rename is only atomic on disk if the
+	// bytes it points at are durable first. Without this, a crash shortly
+	// after Create could leave path referring to a hole.
+	if err := w.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := faultPoint("sync", path); err != nil {
+		return fail(err)
+	}
 	if err := w.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -278,9 +290,57 @@ func Create(path string, d *Dataset, formatName string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := faultPoint("before-rename", path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	if err := faultPoint("after-rename", path); err != nil {
+		// The rename landed: path is the new container. The temp name is
+		// gone, so there is nothing to clean up and nothing to roll back.
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir makes the rename durable by flushing the directory entry.
+// Best-effort: some filesystems cannot fsync a directory handle, and the
+// rename is still atomic there.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// CreateFaultFunc is a test hook observing Create's commit protocol. It
+// is called at four stages — "write" (encoded, not yet synced), "sync"
+// (synced, not yet renamed), "before-rename", and "after-rename" — and a
+// non-nil return aborts Create with that error, simulating a crash or
+// I/O failure at that exact point. See SetCreateFault.
+type CreateFaultFunc func(stage, path string) error
+
+var createFault atomic.Pointer[CreateFaultFunc]
+
+// SetCreateFault installs (or, with nil, removes) the fault hook for
+// Create. Tests use it to verify that a compaction dying at any stage
+// leaves the previous container generation and its write-ahead log
+// intact.
+func SetCreateFault(f CreateFaultFunc) {
+	if f == nil {
+		createFault.Store(nil)
+		return
+	}
+	createFault.Store(&f)
+}
+
+func faultPoint(stage, path string) error {
+	if f := createFault.Load(); f != nil {
+		return (*f)(stage, path)
 	}
 	return nil
 }

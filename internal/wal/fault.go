@@ -1,0 +1,409 @@
+package wal
+
+// FaultFS: the crash simulator behind the durability tests. It wraps a
+// real filesystem and counts every mutation (write, sync, truncate,
+// rename, remove, directory sync) as one step; a test arms a crash at
+// step N and replays a workload, and when the counter hits N the
+// filesystem "loses power": the in-flight operation takes partial
+// effect, every open file is cut back to its last fsynced length (plus
+// an optional torn fragment of unsynced bytes), and all further
+// operations fail with ErrCrashed. Enumerating N over Steps() from a
+// dry run visits every crash point of the write path exactly once.
+//
+// It also injects the two non-fatal failure modes a durability layer
+// must degrade under: sticky fsync errors (SetSyncError) and short
+// writes (SetWriteLimit, the ENOSPC shape — the first write that would
+// exceed the budget lands partially and errors).
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation after the armed crash point
+// has fired — the process-is-dead phase of a simulated power loss.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// errInjectedSync is the sticky failure installed by SetSyncError.
+var errInjectedSync = errors.New("wal: injected fsync error")
+
+// errNoSpace is the injected short-write failure (the ENOSPC shape).
+var errNoSpace = errors.New("wal: injected disk full")
+
+// FaultFS is a fault-injecting FS for tests. The zero value is not
+// usable; construct with NewFaultFS.
+type FaultFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	steps     int // mutation operations performed so far
+	crashAt   int // crash when steps reaches this (0 = disarmed)
+	tearBytes int // unsynced bytes that survive the crash, per file
+	crashed   bool
+	syncErr   bool  // injected fsync failure (sticky until cleared)
+	budget    int64 // remaining write bytes; -1 = unlimited
+	files     map[*faultFile]struct{}
+}
+
+// NewFaultFS wraps inner (nil for the real filesystem).
+func NewFaultFS(inner FS) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, budget: -1, files: map[*faultFile]struct{}{}}
+}
+
+// Steps returns the number of mutation operations performed so far. A
+// dry run's final count enumerates the workload's crash points.
+func (fs *FaultFS) Steps() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.steps
+}
+
+// CrashAt arms a crash at the n-th mutation (1-based): that operation
+// takes partial effect and everything after it fails with ErrCrashed.
+// Pass tear > 0 to let up to that many unsynced bytes survive on each
+// open file — the torn-tail case.
+func (fs *FaultFS) CrashAt(n, tear int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt, fs.tearBytes = n, tear
+}
+
+// Crashed reports whether the armed crash has fired.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// SetSyncError makes every Sync (file and directory) fail until cleared
+// — the sticky-EIO disk. Writes keep succeeding; only durability fails.
+func (fs *FaultFS) SetSyncError(on bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.syncErr = on
+}
+
+// SetWriteLimit bounds the bytes all future writes may add (-1 for
+// unlimited). The write that would exceed the budget lands partially
+// and returns a disk-full error — the ENOSPC short-write shape.
+func (fs *FaultFS) SetWriteLimit(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.budget = n
+}
+
+// step advances the mutation counter and fires the armed crash,
+// reporting (crashNow, alreadyDead). The operation that trips the
+// counter sees crashNow and applies its partial effect; later calls see
+// alreadyDead.
+func (fs *FaultFS) step() (crashNow, dead bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return false, true
+	}
+	fs.steps++
+	if fs.crashAt > 0 && fs.steps >= fs.crashAt {
+		fs.crashed = true
+		return true, false
+	}
+	return false, false
+}
+
+// loseUnsynced tears every open file down to its durable prefix (plus
+// the configured torn fragment) — the power-loss moment.
+func (fs *FaultFS) loseUnsynced() {
+	fs.mu.Lock()
+	files := make([]*faultFile, 0, len(fs.files))
+	for f := range fs.files {
+		files = append(files, f)
+	}
+	tear := fs.tearBytes
+	fs.mu.Unlock()
+	for _, f := range files {
+		f.tearTo(tear)
+	}
+}
+
+// OpenFile opens name; opening is a read of the namespace, not a step.
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	fs.mu.Unlock()
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if info, err := fs.inner.Stat(name); err == nil {
+		size = info.Size()
+	}
+	ff := &faultFile{fs: fs, f: f, name: name, durable: size, size: size}
+	fs.mu.Lock()
+	fs.files[ff] = struct{}{}
+	fs.mu.Unlock()
+	return ff, nil
+}
+
+// Rename counts as one step; on a crash at this step the rename does
+// not happen (the old name survives — rename is atomic, so partial
+// effect is all-or-nothing and the crash models "not yet").
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	crash, dead := fs.step()
+	if dead {
+		return ErrCrashed
+	}
+	if crash {
+		fs.loseUnsynced()
+		return ErrCrashed
+	}
+	return fs.inner.Rename(oldpath, newpath)
+}
+
+// Remove counts as one step; a crash at this step leaves the file.
+func (fs *FaultFS) Remove(name string) error {
+	crash, dead := fs.step()
+	if dead {
+		return ErrCrashed
+	}
+	if crash {
+		fs.loseUnsynced()
+		return ErrCrashed
+	}
+	return fs.inner.Remove(name)
+}
+
+// Stat is a pure read — never a step, but dead after a crash.
+func (fs *FaultFS) Stat(name string) (os.FileInfo, error) {
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	fs.mu.Unlock()
+	return fs.inner.Stat(name)
+}
+
+// SyncDir counts as one step and honors the injected sync error.
+func (fs *FaultFS) SyncDir(dir string) error {
+	crash, dead := fs.step()
+	if dead {
+		return ErrCrashed
+	}
+	if crash {
+		fs.loseUnsynced()
+		return ErrCrashed
+	}
+	fs.mu.Lock()
+	bad := fs.syncErr
+	fs.mu.Unlock()
+	if bad {
+		return errInjectedSync
+	}
+	return fs.inner.SyncDir(dir)
+}
+
+// faultFile tracks, alongside the real file, how much of it is durable
+// (fsynced) versus merely written, so a simulated crash can discard
+// exactly the unsynced suffix.
+type faultFile struct {
+	fs   *FaultFS
+	name string
+
+	mu      sync.Mutex
+	f       File
+	durable int64 // fsynced length
+	size    int64 // written length
+	off     int64 // current file offset
+	closed  bool
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead() {
+		return 0, ErrCrashed
+	}
+	n, err := f.f.Read(p)
+	f.off += int64(n)
+	return n, err
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead() {
+		return 0, ErrCrashed
+	}
+	pos, err := f.f.Seek(offset, whence)
+	if err == nil {
+		f.off = pos
+	}
+	return pos, err
+}
+
+// Write is one step. At the crash step the write lands in full before
+// power dies (the kernel had the page; tearTo decides how much survives
+// the lost cache). Under a write budget, the portion that fits lands
+// and the rest returns disk-full.
+func (f *faultFile) Write(p []byte) (int, error) {
+	crash, dead := f.fs.step()
+	if dead {
+		return 0, ErrCrashed
+	}
+
+	f.fs.mu.Lock()
+	budget := f.fs.budget
+	f.fs.mu.Unlock()
+	short := false
+	if budget >= 0 {
+		if int64(len(p)) > budget {
+			p, short = p[:budget], true
+		}
+		f.fs.mu.Lock()
+		f.fs.budget -= int64(len(p))
+		f.fs.mu.Unlock()
+	}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return 0, os.ErrClosed
+	}
+	n, err := f.f.Write(p)
+	f.off += int64(n)
+	if f.off > f.size {
+		f.size = f.off
+	}
+	f.mu.Unlock()
+
+	if crash {
+		f.fs.loseUnsynced()
+		return n, ErrCrashed
+	}
+	if err == nil && short {
+		err = errNoSpace
+	}
+	return n, err
+}
+
+// Sync is one step: on success everything written so far is durable.
+func (f *faultFile) Sync() error {
+	crash, dead := f.fs.step()
+	if dead {
+		return ErrCrashed
+	}
+	if crash {
+		// Power died during the fsync: nothing new promoted to durable.
+		f.fs.loseUnsynced()
+		return ErrCrashed
+	}
+	f.fs.mu.Lock()
+	bad := f.fs.syncErr
+	f.fs.mu.Unlock()
+	if bad {
+		return errInjectedSync
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.durable = f.size
+	return nil
+}
+
+// Truncate is one step; at the crash step it does not take effect.
+func (f *faultFile) Truncate(size int64) error {
+	crash, dead := f.fs.step()
+	if dead {
+		return ErrCrashed
+	}
+	if crash {
+		f.fs.loseUnsynced()
+		return ErrCrashed
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	if f.durable > size {
+		f.durable = size
+	}
+	return nil
+}
+
+// Close is a read-side operation (no step); it does NOT promote written
+// bytes to durable — close-without-sync loses data in this model, as on
+// a real disk with volatile write cache.
+func (f *faultFile) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return os.ErrClosed
+	}
+	f.closed = true
+	err := f.f.Close()
+	f.mu.Unlock()
+	f.fs.mu.Lock()
+	delete(f.fs.files, f)
+	f.fs.mu.Unlock()
+	return err
+}
+
+// dead reports whether the filesystem has crashed (caller holds f.mu;
+// fs.mu ordering is fs before file, so take it briefly without f.mu —
+// a bool read under the fs lock).
+func (f *faultFile) dead() bool {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return f.fs.crashed
+}
+
+// tearTo applies the crash to this file: cut it back to the durable
+// prefix plus at most tear unsynced bytes. The underlying file is
+// manipulated directly — the wrapper is already "dead" to its user.
+func (f *faultFile) tearTo(tear int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		// The bytes are in the real file; tear them there too.
+		keep := f.durable + int64(tear)
+		if keep < f.size {
+			if g, err := f.fs.inner.OpenFile(f.name, os.O_RDWR, 0); err == nil {
+				g.Truncate(keep)
+				g.Close()
+			}
+		}
+		return
+	}
+	keep := f.durable + int64(tear)
+	if keep > f.size {
+		keep = f.size
+	}
+	f.f.Truncate(keep)
+	f.size = keep
+	f.f.Seek(keep, io.SeekStart)
+}
+
+// IsNoSpace reports whether err is the injected disk-full failure.
+func IsNoSpace(err error) bool { return errors.Is(err, errNoSpace) }
+
+// IsInjectedSync reports whether err is the injected fsync failure.
+func IsInjectedSync(err error) bool { return errors.Is(err, errInjectedSync) }

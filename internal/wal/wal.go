@@ -1,0 +1,589 @@
+// Package wal is the durable half of the batch-dynamic write path: a
+// per-dataset write-ahead log of update batches. The semi-asymmetric
+// design keeps the authoritative graph in a read-only container file and
+// every mutation in a DRAM-resident overlay, which means a crash loses
+// the overlay — unless the batches that built it were made durable
+// first. The WAL records exactly that: each applied batch is encoded as
+// a length-prefixed, CRC-checksummed record and (per a configurable
+// fsync policy) flushed to storage before the overlay becomes visible,
+// so a restarted server can replay surviving records onto the last
+// durable container generation.
+//
+// # Segment layout
+//
+// One log file per dataset, conventionally at <dataset path> + ".wal":
+//
+//	header (32 B): magic "SAGEWAL1" | version u32 | flags u32 |
+//	               base size u64 | base crc u32 | reserved u32
+//	record*:       payload len u32 | payload crc32c u32 |
+//	               payload (seq u64 | nops u32 | ops...)
+//	op (13 B):     u u32 | v u32 | w i32 | flags u8 (bit0 = del)
+//
+// All integers are little-endian. The header's base fingerprint ties the
+// segment to the container generation its records apply onto: a
+// compaction writes a new container and retires the segment, and if the
+// process dies between those two steps the stale segment's fingerprint
+// no longer matches the (new) container, so replay discards it instead
+// of applying already-folded batches twice. Replay is idempotent either
+// way around the crash point.
+//
+// # Recovery
+//
+// Open scans the segment sequentially and stops at the first record that
+// is short, oversized, or fails its checksum — a torn tail from a crash
+// mid-append — truncating the file there. Everything before the torn
+// record is intact (records are written in order and fsynced per
+// policy), so recovery always yields a prefix of the appended batches:
+// the state either before or after any given batch, never a hybrid.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+const (
+	magic        = "SAGEWAL1"
+	walVersion   = 1
+	headerSize   = 32
+	recHeader    = 8        // payload length u32 + crc32c u32
+	opSize       = 13       // u u32 + v u32 + w i32 + flags u8
+	maxRecordLen = 64 << 20 // sanity bound on one record's payload
+	// fingerprintSpan bounds how much of the container file the base
+	// fingerprint hashes (a prefix and a suffix): enough to distinguish
+	// container generations without re-reading a multi-GB graph at open.
+	fingerprintSpan = 256 << 10
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// SyncPolicy selects when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before it returns: a batch is
+	// durable before its overlay becomes visible. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs from a background flusher every Interval:
+	// bounded data loss (at most one interval of batches) for much
+	// cheaper appends.
+	SyncInterval
+	// SyncNever leaves flushing to the operating system entirely.
+	SyncNever
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParsePolicy parses the flag spelling ("always", "interval", "never").
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem the log lives on; nil means the real one.
+	FS FS
+	// Policy selects when appends are fsynced (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background flush period under SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OS
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Fingerprint identifies one container generation: the file's size plus
+// a CRC of its leading and trailing bytes. Compaction rewrites the
+// container, changing the fingerprint, which is how replay tells records
+// meant for the previous generation from live ones.
+type Fingerprint struct {
+	Size uint64
+	CRC  uint32
+}
+
+// FingerprintFile fingerprints the container at path through fsys.
+func FingerprintFile(fsys FS, path string) (Fingerprint, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	defer f.Close()
+	size := info.Size()
+	span := int64(fingerprintSpan)
+	crc := crc32.New(castagnoli)
+	if size <= 2*span {
+		if _, err := io.Copy(crc, f); err != nil {
+			return Fingerprint{}, err
+		}
+	} else {
+		if _, err := io.CopyN(crc, f, span); err != nil {
+			return Fingerprint{}, err
+		}
+		if _, err := f.Seek(size-span, io.SeekStart); err != nil {
+			return Fingerprint{}, err
+		}
+		if _, err := io.Copy(crc, f); err != nil {
+			return Fingerprint{}, err
+		}
+	}
+	return Fingerprint{Size: uint64(size), CRC: crc.Sum32()}, nil
+}
+
+// Op is one undirected edge mutation, mirroring the overlay's op type.
+type Op struct {
+	U, V uint32
+	W    int32
+	Del  bool
+}
+
+// Batch is one replayed record: the ops of one update batch, its
+// sequence number within the segment, and the file offset its record
+// ends at (for surgical truncation when a batch fails to re-apply).
+type Batch struct {
+	Seq    uint64
+	Ops    []Op
+	EndOff int64
+}
+
+// Recovery reports what Open found in an existing segment.
+type Recovery struct {
+	// Batches are the surviving records in append order.
+	Batches []Batch
+	// Discarded reports that a whole stale segment was dropped: its
+	// header was corrupt or its base fingerprint did not match the
+	// container (a compaction retired the base after these records were
+	// folded in).
+	Discarded bool
+	// TornBytes counts trailing bytes truncated at the first short,
+	// oversized, or checksum-failing record.
+	TornBytes int64
+}
+
+// Log is one dataset's write-ahead segment. All methods are safe for
+// concurrent use, though the serving layer serializes appends per
+// dataset anyway.
+type Log struct {
+	fs   FS
+	path string
+	opts Options
+
+	mu      sync.Mutex
+	f       File
+	goodOff int64 // end of the last fully appended record
+	curOff  int64 // bytes physically written (>= goodOff after a failed append)
+	seq     uint64
+	dirty   bool  // appended records not yet fsynced
+	syncErr error // sticky background-flush failure; cleared by a later success
+	closed  bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the segment at path for the container
+// generation identified by base, replaying surviving records. A segment
+// whose header is corrupt or whose fingerprint does not match base is
+// discarded and reinitialized; a torn or corrupt tail is truncated at
+// the first bad record. The returned log appends after the last good
+// record, continuing its sequence numbering.
+func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
+	opts = opts.withDefaults()
+	var rec Recovery
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, rec, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, rec, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	l := &Log{fs: opts.FS, path: path, opts: opts, f: f}
+
+	fresh := len(data) == 0
+	if !fresh && !headerMatches(data, base) {
+		rec.Discarded = true
+		fresh = true
+	}
+	if fresh {
+		if err := l.initSegment(base, len(data) > 0); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+	} else {
+		off := int64(headerSize)
+		for int64(len(data)) > off {
+			n, batch, ok := decodeRecord(data, off)
+			if !ok {
+				break
+			}
+			batch.EndOff = off + n
+			rec.Batches = append(rec.Batches, batch)
+			l.seq = batch.Seq
+			off += n
+		}
+		if torn := int64(len(data)) - off; torn > 0 {
+			rec.TornBytes = torn
+			if err := f.Truncate(off); err != nil {
+				f.Close()
+				return nil, rec, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			f.Close()
+			return nil, rec, err
+		}
+		l.goodOff, l.curOff = off, off
+	}
+
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, rec, nil
+}
+
+// headerMatches validates the segment header against the expected base.
+func headerMatches(data []byte, base Fingerprint) bool {
+	if len(data) < headerSize || string(data[:8]) != magic {
+		return false
+	}
+	le := binary.LittleEndian
+	return le.Uint32(data[8:]) == walVersion &&
+		le.Uint64(data[16:]) == base.Size &&
+		le.Uint32(data[24:]) == base.CRC
+}
+
+// initSegment (re)writes a fresh header for base. The header is synced
+// immediately regardless of policy — it is written once per generation
+// and a lost header would discard every later record.
+func (l *Log) initSegment(base Fingerprint, truncate bool) error {
+	if truncate {
+		if err := l.f.Truncate(0); err != nil {
+			return fmt.Errorf("wal: resetting stale segment %s: %w", l.path, err)
+		}
+		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[8:], walVersion)
+	le.PutUint64(hdr[16:], base.Size)
+	le.PutUint32(hdr[24:], base.CRC)
+	if _, err := l.f.Write(hdr); err != nil {
+		return fmt.Errorf("wal: writing header of %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing header of %s: %w", l.path, err)
+	}
+	l.fs.SyncDir(filepath.Dir(l.path))
+	l.goodOff, l.curOff = headerSize, headerSize
+	return nil
+}
+
+// decodeRecord decodes the record at off, returning its total length.
+// ok is false for a short, oversized, or checksum-failing record — the
+// torn-tail signal.
+func decodeRecord(data []byte, off int64) (n int64, batch Batch, ok bool) {
+	le := binary.LittleEndian
+	rest := data[off:]
+	if len(rest) < recHeader {
+		return 0, batch, false
+	}
+	plen := le.Uint32(rest)
+	if plen > maxRecordLen || int64(len(rest)) < recHeader+int64(plen) {
+		return 0, batch, false
+	}
+	payload := rest[recHeader : recHeader+int(plen)]
+	if crc32.Checksum(payload, castagnoli) != le.Uint32(rest[4:]) {
+		return 0, batch, false
+	}
+	if len(payload) < 12 {
+		return 0, batch, false
+	}
+	batch.Seq = le.Uint64(payload)
+	nops := le.Uint32(payload[8:])
+	if int(nops)*opSize != len(payload)-12 {
+		return 0, batch, false
+	}
+	batch.Ops = make([]Op, nops)
+	for i := range batch.Ops {
+		p := payload[12+i*opSize:]
+		batch.Ops[i] = Op{
+			U:   le.Uint32(p),
+			V:   le.Uint32(p[4:]),
+			W:   int32(le.Uint32(p[8:])),
+			Del: p[12]&1 != 0,
+		}
+	}
+	return recHeader + int64(plen), batch, true
+}
+
+// encodeRecord builds the on-disk form of one batch.
+func encodeRecord(seq uint64, ops []Op) []byte {
+	le := binary.LittleEndian
+	plen := 12 + len(ops)*opSize
+	buf := make([]byte, recHeader+plen)
+	payload := buf[recHeader:]
+	le.PutUint64(payload, seq)
+	le.PutUint32(payload[8:], uint32(len(ops)))
+	for i, op := range ops {
+		p := payload[12+i*opSize:]
+		le.PutUint32(p, op.U)
+		le.PutUint32(p[4:], op.V)
+		le.PutUint32(p[8:], uint32(op.W))
+		if op.Del {
+			p[12] = 1
+		}
+	}
+	le.PutUint32(buf, uint32(plen))
+	le.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// Append logs one batch, fsyncing per the configured policy before
+// returning. On any error the batch is NOT durable and must not become
+// visible; the log cleans the partial record off the tail (now, or on
+// the next Append if the disk refuses even the truncate). Under
+// SyncInterval a sticky background-flush failure is surfaced here — the
+// append probes the disk first, so recovery is automatic once the log
+// becomes writable again.
+func (l *Log) Append(ops []Op) (seq uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	// Clear damage left by a previous failed append or background flush:
+	// a torn record on the tail would truncate every later record at
+	// replay, so it must be gone before anything new is written.
+	if l.curOff != l.goodOff {
+		if err := l.truncateToGoodLocked(); err != nil {
+			return 0, fmt.Errorf("wal: clearing torn tail: %w", err)
+		}
+	}
+	if l.syncErr != nil {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: flush still failing: %w", err)
+		}
+		l.syncErr = nil
+		l.dirty = false
+	}
+
+	rec := encodeRecord(l.seq+1, ops)
+	n, werr := l.f.Write(rec)
+	l.curOff += int64(n)
+	if werr == nil && n < len(rec) {
+		werr = io.ErrShortWrite
+	}
+	if werr != nil {
+		// Best-effort cleanup; Append retries it next time if this fails.
+		l.truncateToGoodLocked()
+		return 0, fmt.Errorf("wal: appending batch: %w", werr)
+	}
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			// The record may or may not have reached storage; cut it off
+			// so a crash cannot resurrect a batch the caller rejected.
+			l.truncateToGoodLocked()
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+	default:
+		l.dirty = true
+	}
+	l.seq++
+	l.goodOff = l.curOff
+	return l.seq, nil
+}
+
+// truncateToGoodLocked cuts the file back to the last good record.
+func (l *Log) truncateToGoodLocked() error {
+	if err := l.f.Truncate(l.goodOff); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(l.goodOff, io.SeekStart); err != nil {
+		return err
+	}
+	l.curOff = l.goodOff
+	return nil
+}
+
+// flushLoop is the SyncInterval background flusher.
+func (l *Log) flushLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed {
+				if err := l.f.Sync(); err != nil {
+					l.syncErr = err
+				} else {
+					l.dirty = false
+					l.syncErr = nil
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Sync flushes appended records now, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Sync(); err != nil {
+		l.syncErr = err
+		return err
+	}
+	l.dirty, l.syncErr = false, nil
+	return nil
+}
+
+// Err returns the sticky background-flush failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncErr
+}
+
+// Seq returns the sequence number of the last appended record.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Size returns the segment's logical size (through the last good record).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.goodOff
+}
+
+// Path returns the segment's file path.
+func (l *Log) Path() string { return l.path }
+
+// TruncateTo cuts the segment back to off — the EndOff of the last batch
+// that should survive (or the header size for none). Recovery uses it
+// when a logged batch fails to re-apply, treating everything from that
+// record on like a corrupt tail.
+func (l *Log) TruncateTo(off int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if off < headerSize || off > l.goodOff {
+		return fmt.Errorf("wal: TruncateTo(%d) outside [%d, %d]", off, headerSize, l.goodOff)
+	}
+	if err := l.f.Truncate(off); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	l.goodOff, l.curOff = off, off
+	return l.f.Sync()
+}
+
+// HeaderSize returns the offset of the first record — the TruncateTo
+// argument that drops every batch.
+func HeaderSize() int64 { return headerSize }
+
+// Close flushes (unless SyncNever) and closes the segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	stop, done := l.stop, l.done
+	var first error
+	if l.dirty && l.opts.Policy != SyncNever {
+		first = l.f.Sync()
+	}
+	if err := l.f.Close(); first == nil {
+		first = err
+	}
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return first
+}
+
+// CloseAndRemove retires the segment: close, delete the file, and sync
+// the directory. Compaction calls it after the new container generation
+// is durably in place — from then on replaying these records would
+// double-apply them (and their fingerprint no longer matches, so even a
+// crash between the container rename and this removal is safe).
+func (l *Log) CloseAndRemove() error {
+	err := l.Close()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		// Close-flush failure does not matter for a file being deleted.
+		err = nil
+	}
+	if rerr := l.fs.Remove(l.path); rerr != nil && !os.IsNotExist(rerr) {
+		return rerr
+	}
+	l.fs.SyncDir(filepath.Dir(l.path))
+	return err
+}
