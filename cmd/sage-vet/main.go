@@ -1,0 +1,15 @@
+// Command sage-vet is the repository's custom vet tool: five analyzers
+// enforcing the zero-copy arena, hot-path allocation, cancellation,
+// durability-error, and WAL-ordering invariants. Run it through the
+// toolchain so facts flow across packages:
+//
+//	go build -o bin/sage-vet ./cmd/sage-vet
+//	go vet -vettool=bin/sage-vet ./...
+//
+// See docs/STATIC_ANALYSIS.md for the analyzer catalogue and the
+// //sage: annotation grammar.
+package main
+
+import "sage/internal/sagevet/unit"
+
+func main() { unit.Main() }

@@ -1,0 +1,292 @@
+// Package analysis is the small, dependency-free core of sage-vet: the
+// repository's own static-analysis framework. It mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer runs over one type-checked
+// package at a time and reports position-anchored diagnostics — but is
+// built entirely on the standard library's go/ast and go/types, because
+// this module carries no external dependencies.
+//
+// Cross-package knowledge travels as *marks*: small string tags attached
+// to package-level functions and methods ("hotpath", "arena-view",
+// "checkpoints", "durable", "publish", ...). Marks come from two sources:
+//
+//   - Annotations: //sage:<name> directive comments on declarations,
+//     scanned by the driver before any analyzer runs (see annotations.go).
+//   - Derivation: analyzers may add marks they compute (for example,
+//     ctxcheckpoint marks every function that transitively polls its
+//     context as "checkpoints").
+//
+// When sage-vet runs under "go vet -vettool", the driver serializes the
+// current package's marks into the .vetx fact file go vet maintains per
+// package, and re-reads dependencies' marks from theirs — so an analyzer
+// looking at a call into another package sees the marks computed when
+// that package was analyzed, exactly like go/analysis facts.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one sage-vet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable flags
+	// (-<name>=false), and //sage:allow suppressions.
+	Name string
+	// Doc is the one-paragraph description printed by `sage-vet help`.
+	Doc string
+	// Run performs the check on one package. Diagnostics go through
+	// pass.Reportf; derived marks through pass.Mark.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Module is the module path of the tree under analysis ("sage"); a
+	// package is "in-module" when its path is Module or below it.
+	Module string
+	// TestFile reports whether the file containing pos is a _test.go file.
+	TestFile func(pos token.Pos) bool
+
+	marks  *MarkSet
+	report func(Diagnostic)
+}
+
+// NewPass assembles a Pass for one analyzer over one package.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, module string, marks *MarkSet, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Module:    module,
+		TestFile: func(pos token.Pos) bool {
+			return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+		},
+		marks:  marks,
+		report: report,
+	}
+}
+
+// Marks exposes the pass's mark set for keyed lookups.
+func (p *Pass) Marks() *MarkSet { return p.marks }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Mark attaches mark m to obj, which must belong to the package under
+// analysis. The mark is visible to later analyzers in this run and is
+// exported for packages that import this one.
+func (p *Pass) Mark(obj types.Object, m string) { p.marks.Add(obj, m) }
+
+// HasMark reports whether obj — from this package or any imported one —
+// carries mark m.
+func (p *Pass) HasMark(obj types.Object, m string) bool { return p.marks.Has(obj, m) }
+
+// InModule reports whether pkg belongs to the module under analysis.
+// With an unknown module path (source-mode tests), any package whose path
+// has no dot in its first element (i.e. not a domain-qualified import) is
+// considered in-module, which covers both "sage/..." and testdata paths.
+func (p *Pass) InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if p.Module != "" {
+		return path == p.Module || strings.HasPrefix(path, p.Module+"/")
+	}
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}
+
+// MarkSet holds marks for the current package (keyed by object identity)
+// and for imported packages (keyed by package path and stable object key).
+type MarkSet struct {
+	current  *types.Package
+	local    map[types.Object]map[string]bool
+	keyed    map[string]map[string]bool            // current package, by explicit key
+	imported map[string]map[string]map[string]bool // pkg path -> obj key -> marks
+}
+
+// NewMarkSet returns an empty mark set.
+func NewMarkSet() *MarkSet {
+	return &MarkSet{
+		local:    map[types.Object]map[string]bool{},
+		keyed:    map[string]map[string]bool{},
+		imported: map[string]map[string]map[string]bool{},
+	}
+}
+
+// Add attaches mark m to obj (an object of the package under analysis).
+func (s *MarkSet) Add(obj types.Object, m string) {
+	set := s.local[obj]
+	if set == nil {
+		set = map[string]bool{}
+		s.local[obj] = set
+	}
+	set[m] = true
+}
+
+// AddKeyed attaches mark m under an explicit key of the current package.
+// The annotation scanner uses it for interface methods, whose receiver
+// representation is not stable enough for ObjKey.
+func (s *MarkSet) AddKeyed(key, m string) {
+	set := s.keyed[key]
+	if set == nil {
+		set = map[string]bool{}
+		s.keyed[key] = set
+	}
+	set[m] = true
+}
+
+// Has reports whether obj carries mark m, consulting the local set for
+// objects of the current package and the imported tables otherwise.
+func (s *MarkSet) Has(obj types.Object, m string) bool {
+	if obj == nil {
+		return false
+	}
+	if s.local[obj][m] {
+		return true
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == s.current {
+		return s.keyed[ObjKey(obj)][m]
+	}
+	return s.imported[pkg.Path()][ObjKey(obj)][m]
+}
+
+// HasByKey reports whether the object identified by (pkgPath, key)
+// carries mark m. Callers use it when they can name an object more
+// reliably than ObjKey can (interface methods via their named interface).
+func (s *MarkSet) HasByKey(pkgPath, key, m string) bool {
+	if s.current != nil && pkgPath == s.current.Path() && s.keyed[key][m] {
+		return true
+	}
+	return s.imported[pkgPath][key][m]
+}
+
+// SetCurrent records the package under analysis, so keyed lookups can
+// distinguish it from imports.
+func (s *MarkSet) SetCurrent(pkg *types.Package) { s.current = pkg }
+
+// AddImported merges one package's exported mark table (from a fact file
+// or an in-process test run).
+func (s *MarkSet) AddImported(pkgPath string, table map[string][]string) {
+	dst := s.imported[pkgPath]
+	if dst == nil {
+		dst = map[string]map[string]bool{}
+		s.imported[pkgPath] = dst
+	}
+	for key, marks := range table {
+		set := dst[key]
+		if set == nil {
+			set = map[string]bool{}
+			dst[key] = set
+		}
+		for _, m := range marks {
+			set[m] = true
+		}
+	}
+}
+
+// Export renders every package's marks — the current package's plus all
+// imported ones — as path -> object key -> sorted marks, the form fact
+// files carry. Re-exporting imported marks lets a consumer see marks from
+// transitive dependencies even though go vet hands it only direct ones.
+func (s *MarkSet) Export(current *types.Package) map[string]map[string][]string {
+	out := map[string]map[string][]string{}
+	for path, tbl := range s.imported {
+		m := map[string][]string{}
+		for key, set := range tbl {
+			m[key] = setToList(set)
+		}
+		out[path] = m
+	}
+	cur := out[current.Path()]
+	if cur == nil {
+		cur = map[string][]string{}
+		out[current.Path()] = cur
+	}
+	add := func(key string, set map[string]bool) {
+		merged := map[string]bool{}
+		for _, m := range cur[key] {
+			merged[m] = true
+		}
+		for m := range set {
+			merged[m] = true
+		}
+		cur[key] = setToList(merged)
+	}
+	for obj, set := range s.local {
+		if obj.Pkg() != current {
+			continue
+		}
+		add(ObjKey(obj), set)
+	}
+	for key, set := range s.keyed {
+		add(key, set)
+	}
+	return out
+}
+
+func setToList(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	// Deterministic fact files: order the marks.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ObjKey returns a stable, position-independent key for a package-level
+// function, method, or interface method — the only objects marks are
+// exported for. Methods are keyed by their receiver's type name so that
+// the producing and consuming runs (separate processes under go vet)
+// agree.
+func ObjKey(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "o:" + obj.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "f:" + fn.Name()
+	}
+	return "m:" + recvName(sig.Recv().Type()) + "." + fn.Name()
+}
+
+// recvName names a receiver type without package qualification.
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return types.TypeString(t, func(*types.Package) string { return "" })
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation directives understood by sage-vet. Each is a //sage:<name>
+// directive comment (no space after //, like //go:noinline) on the
+// declaration it describes:
+//
+//	//sage:hotpath        func or interface method: allocation-free hot path
+//	//sage:arena-view     func or method returning a slice aliasing an mmap arena
+//	//sage:arena          struct field holding an arena-aliasing slice
+//	//sage:durable        func or method whose error result must be handled
+//	//sage:durable-append durable WAL append (walorder barrier source)
+//	//sage:publish        overlay publish / generation bump (walorder barrier sink)
+//	//sage:allow <names>  on or above a line: suppress the named analyzers there
+//
+// ScanAnnotations records every directive except allow as a mark on the
+// declared object; allow is handled separately by ScanSuppressions.
+func ScanAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info, marks *MarkSet) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				for _, m := range directives(d.Doc) {
+					if obj := info.Defs[d.Name]; obj != nil {
+						marks.Add(obj, m)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					switch t := ts.Type.(type) {
+					case *ast.InterfaceType:
+						scanInterface(ts.Name.Name, t, info, marks)
+					case *ast.StructType:
+						scanStruct(t, info, marks)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanInterface records directives on interface methods. Interface-method
+// objects have no stable ObjKey (their receiver prints as the interface
+// literal), so marks are also recorded under the explicit key
+// "m:<InterfaceName>.<Method>", which consumers reconstruct from the
+// receiver of a method selection.
+func scanInterface(ifaceName string, t *ast.InterfaceType, info *types.Info, marks *MarkSet) {
+	for _, meth := range t.Methods.List {
+		ms := append(directives(meth.Doc), directives(meth.Comment)...)
+		if len(ms) == 0 {
+			continue
+		}
+		for _, name := range meth.Names {
+			for _, m := range ms {
+				if obj := info.Defs[name]; obj != nil {
+					marks.Add(obj, m)
+				}
+				marks.AddKeyed("m:"+ifaceName+"."+name.Name, m)
+			}
+		}
+	}
+}
+
+// scanStruct records directives on struct fields (//sage:arena). Field
+// marks are only consulted within the declaring package — arena-backed
+// fields are unexported — so local object identity suffices.
+func scanStruct(t *ast.StructType, info *types.Info, marks *MarkSet) {
+	for _, field := range t.Fields.List {
+		ms := append(directives(field.Doc), directives(field.Comment)...)
+		if len(ms) == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			for _, m := range ms {
+				if obj := info.Defs[name]; obj != nil {
+					marks.Add(obj, m)
+				}
+			}
+		}
+	}
+}
+
+// directives extracts the //sage:<name> directive names from a comment
+// group, excluding allow (a line suppression, not a declaration mark).
+func directives(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//sage:")
+		if !ok {
+			continue
+		}
+		name, _, _ := strings.Cut(rest, " ")
+		name = strings.TrimSpace(name)
+		if name != "" && name != "allow" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Suppressions indexes //sage:allow comments: file and line to the set of
+// analyzer names waived there. An allow on a line suppresses findings on
+// that line and the next one (so it can sit on its own line above the
+// flagged statement).
+type Suppressions struct {
+	allow map[string]map[int][]string
+}
+
+// ScanSuppressions collects every //sage:allow comment in files.
+func ScanSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{allow: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//sage:allow")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				names := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ' ' || r == '\t' || r == ','
+				})
+				if len(names) == 0 {
+					names = []string{"*"}
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.allow[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.allow[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+// Allows reports whether a finding by analyzer at pos is waived by an
+// allow comment on the same line or the line above.
+func (s *Suppressions) Allows(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, n := range s.allow[p.Filename][line] {
+			if n == "*" || n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

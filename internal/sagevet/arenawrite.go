@@ -1,0 +1,214 @@
+package sagevet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sage/internal/sagevet/analysis"
+)
+
+// ArenaWrite enforces the zero-copy read-only contract on mmap arenas:
+// a slice obtained from an //sage:arena-view accessor or an //sage:arena
+// struct field aliases NVRAM-resident graph data and must never be
+// stored through. Element assignment, copy-into, and append-onto such a
+// slice are flagged. Copying *out* (copy(dst, arena)) and cloning
+// (append(fresh, arena...), append(arena[:0:0], ...)) are legal — the
+// clone owns its backing array.
+var ArenaWrite = &analysis.Analyzer{
+	Name: "arenawrite",
+	Doc: "flag writes through slices that alias an mmap arena " +
+		"(//sage:arena-view accessors, //sage:arena fields)",
+	Run: runArenaWrite,
+}
+
+func runArenaWrite(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkArenaFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkArenaFunc runs the intra-function taint pass over one body.
+// Taint is flow-insensitive: a variable ever assigned an arena-aliasing
+// value is treated as aliasing for the whole function. That is the
+// conservative direction — arena views are cheap accessors callers do
+// not recycle into scratch buffers.
+func checkArenaFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	t := &taint{pass: pass, vars: map[*types.Var]bool{}, fresh: collectFreshFields(pass, body)}
+
+	// Fixpoint over assignments: taint flows var-to-var through
+	// chains like v := g.Neighbors(u); w := v[1:].
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs != nil && t.tainted(rhs) && t.addVar(lhs) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) && t.tainted(n.Values[i]) && t.addVar(name) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// for _, row := range arenaMatrix — row aliases.
+				if n.Value != nil && t.tainted(n.X) && isSliceType(pass.TypesInfo, n.Value) && t.addVar(n.Value) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Report the writes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && t.tainted(ix.X) {
+					pass.Reportf(lhs.Pos(), "write through arena-backed slice %s: mmap graph data is read-only", exprString(ix.X))
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && t.tainted(ix.X) {
+				pass.Reportf(n.Pos(), "write through arena-backed slice %s: mmap graph data is read-only", exprString(ix.X))
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.TypesInfo, n, "copy") && len(n.Args) == 2 && t.tainted(n.Args[0]) {
+				pass.Reportf(n.Pos(), "copy into arena-backed slice %s: mmap graph data is read-only", exprString(n.Args[0]))
+			}
+			if isBuiltin(pass.TypesInfo, n, "append") && len(n.Args) > 0 && t.tainted(n.Args[0]) {
+				pass.Reportf(n.Pos(), "append onto arena-backed slice %s may write its backing array; clone with append(dst[:0:0], ...) first", exprString(n.Args[0]))
+			}
+		}
+		return true
+	})
+}
+
+type taint struct {
+	pass *analysis.Pass
+	vars map[*types.Var]bool
+	// fresh holds arena fields this function provisions itself
+	// (g.offsets = make(...)): a loader filling a graph it is building
+	// writes heap memory, not the mmap view a loaded graph carries.
+	fresh map[*types.Var]bool
+}
+
+// collectFreshFields returns the arena-marked fields the body assigns
+// from a freshly-allocated value (make or a composite literal).
+func collectFreshFields(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			switch rhs := ast.Unparen(assign.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if !isBuiltin(pass.TypesInfo, rhs, "make") {
+					continue
+				}
+			case *ast.CompositeLit:
+			default:
+				continue
+			}
+			if v, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Var); ok && v.IsField() {
+				fresh[v] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// addVar taints the variable behind an identifier expression, reporting
+// whether the set grew.
+func (t *taint) addVar(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := t.pass.TypesInfo.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || t.vars[v] {
+		return false
+	}
+	t.vars[v] = true
+	return true
+}
+
+// tainted reports whether e evaluates to an arena-aliasing slice.
+func (t *taint) tainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := t.pass.TypesInfo.ObjectOf(e).(*types.Var)
+		return ok && t.vars[v]
+	case *ast.CallExpr:
+		return calleeMarked(t.pass, e, "arena-view")
+	case *ast.SelectorExpr:
+		// g.edges where the field is marked //sage:arena — unless this
+		// function allocated the field itself (a loader building the graph).
+		obj := t.pass.TypesInfo.ObjectOf(e.Sel)
+		if v, ok := obj.(*types.Var); ok && v.IsField() && t.pass.HasMark(v, "arena") && !t.fresh[v] {
+			return true
+		}
+		return false
+	case *ast.SliceExpr:
+		// A three-index slice (s[:n:n]) caps capacity; the standard
+		// clone idiom append(s[:0:0], s...) must stay writable.
+		return e.Max == nil && t.tainted(e.X)
+	case *ast.IndexExpr:
+		// Row of an arena-backed [][]T still aliases.
+		return t.tainted(e.X) && isSliceType(t.pass.TypesInfo, e)
+	default:
+		return false
+	}
+}
+
+func isSliceType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// exprString renders a small expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

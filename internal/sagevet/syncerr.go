@@ -1,0 +1,275 @@
+package sagevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sage/internal/sagevet/analysis"
+)
+
+// SyncErr is a targeted errcheck for the durability paths. It flags:
+//
+//   - a discarded result of Sync() on any receiver, Close() on an
+//     in-module receiver or *os.File, or any //sage:durable call
+//     (an expression statement that drops the error on the floor);
+//   - `_ =` discards of //sage:durable calls — the explicit waiver is
+//     accepted for plain Close/Sync, never for the WAL write path;
+//   - non-sticky fsync retries: inside a loop, an error from Sync or a
+//     durable call must escape the loop (return, break, panic) or be
+//     recorded (assigned to a field or outer variable) — retrying Sync
+//     after a failure silently loses the first error, because the kernel
+//     clears the dirty state on the failed fsync.
+//
+// Deferred calls are exempt: `defer f.Close()` on a read path is idiomatic.
+var SyncErr = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  "flag discarded Sync/Close/durable errors and non-sticky fsync retries",
+	Run:  runSyncErr,
+}
+
+func runSyncErr(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSyncErrFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkSyncErrFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind := errCallKind(pass, call); kind != "" {
+				pass.Reportf(call.Pos(), "result of %s is discarded; handle the error (durability depends on it)", kind)
+			}
+			return true
+		case *ast.AssignStmt:
+			checkBlankDiscard(pass, n)
+		case *ast.ForStmt:
+			checkStickyLoop(pass, n.Body)
+		case *ast.RangeStmt:
+			checkStickyLoop(pass, n.Body)
+		}
+		return true
+	})
+}
+
+// errCallKind classifies a call whose error result must be consumed,
+// returning a human label or "".
+func errCallKind(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	if !returnsError(fn) {
+		return ""
+	}
+	if calleeMarked(pass, call, "durable") {
+		return fn.Name() + " (//sage:durable)"
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	switch fn.Name() {
+	case "Sync":
+		return "Sync"
+	case "Close":
+		recv := namedOf(sig.Recv().Type())
+		if recv == nil {
+			return ""
+		}
+		pkg := recv.Obj().Pkg()
+		if pkg == nil {
+			return ""
+		}
+		if pkg.Path() == "os" && recv.Obj().Name() == "File" {
+			return "Close"
+		}
+		if pass.InModule(pkg) {
+			return "Close"
+		}
+	}
+	return ""
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	n := namedOf(last)
+	return n != nil && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// checkBlankDiscard flags `_ = durableCall()`: the waiver that is fine
+// for a best-effort Close is not fine for the WAL write path.
+func checkBlankDiscard(pass *analysis.Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok || !calleeMarked(pass, call, "durable") {
+		return
+	}
+	for _, lhs := range n.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return // some result is kept
+		}
+	}
+	fn := staticCallee(pass.TypesInfo, call)
+	pass.Reportf(call.Pos(), "error from //sage:durable %s is discarded with _; durable errors must be handled", fn.Name())
+}
+
+// checkStickyLoop enforces the sticky-error rule for Sync and durable
+// calls whose error is bound inside a loop body: the error's handling
+// branch must leave the loop or record the failure. Two shapes are
+// recognized:
+//
+//	if err := x.Sync(); err != nil { ... }
+//	err := x.Sync(); if err != nil { ... }
+func checkStickyLoop(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		var call *ast.CallExpr
+		if init, ok := ifs.Init.(*ast.AssignStmt); ok {
+			call = syncishCall(pass, init)
+		}
+		if call == nil {
+			return true
+		}
+		errName := condErrName(ifs.Cond)
+		if errName == "" {
+			return true
+		}
+		if !branchEscapesOrRecords(pass, ifs.Body, errName) {
+			pass.Reportf(call.Pos(), "fsync error is not sticky: the failure branch neither leaves the loop nor records the error; a retried Sync silently drops it")
+		}
+		return true
+	})
+
+	// err := x.Sync() followed by if err != nil { ... } as the next statement.
+	for i := 0; i+1 < len(body.List); i++ {
+		assign, ok := body.List[i].(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		call := syncishCall(pass, assign)
+		if call == nil {
+			continue
+		}
+		ifs, ok := body.List[i+1].(*ast.IfStmt)
+		if !ok || ifs.Init != nil {
+			continue
+		}
+		errName := condErrName(ifs.Cond)
+		if errName == "" {
+			continue
+		}
+		if !branchEscapesOrRecords(pass, ifs.Body, errName) {
+			pass.Reportf(call.Pos(), "fsync error is not sticky: the failure branch neither leaves the loop nor records the error; a retried Sync silently drops it")
+		}
+	}
+}
+
+// syncishCall returns the Sync/durable call on the assignment's RHS, if
+// its error lands in a simple variable.
+func syncishCall(pass *analysis.Pass, assign *ast.AssignStmt) *ast.CallExpr {
+	if len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := staticCallee(pass.TypesInfo, call)
+	if fn == nil || !returnsError(fn) {
+		return nil
+	}
+	if fn.Name() == "Sync" || calleeMarked(pass, call, "durable") {
+		return call
+	}
+	return nil
+}
+
+// condErrName matches `err != nil` and returns the error identifier's
+// name ("" when the condition has another shape).
+func condErrName(cond ast.Expr) string {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return ""
+	}
+	x, xOk := ast.Unparen(be.X).(*ast.Ident)
+	nilY, yOk := ast.Unparen(be.Y).(*ast.Ident)
+	if !xOk || !yOk || nilY.Name != "nil" {
+		return ""
+	}
+	return x.Name
+}
+
+// branchEscapesOrRecords reports whether the failure branch leaves the
+// loop (return, break, goto, panic) or records the error somewhere that
+// outlives the iteration — an assignment to a selector, or passing the
+// error variable to a call (a health setter, a logger).
+func branchEscapesOrRecords(pass *analysis.Pass, block *ast.BlockStmt, errName string) bool {
+	ok := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			ok = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				ok = true
+			}
+		case *ast.CallExpr:
+			if id, isIdent := ast.Unparen(n.Fun).(*ast.Ident); isIdent && id.Name == "panic" {
+				ok = true
+			}
+			// t.Fatal / t.Fatalf / t.FailNow and friends stop the
+			// goroutine (runtime.Goexit), as do os.Exit / log.Fatal*.
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel {
+				switch sel.Sel.Name {
+				case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow", "Exit", "Goexit", "Fatalln":
+					ok = true
+				}
+			}
+			// Handing the error to any function records it.
+			for _, arg := range n.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, isID := a.(*ast.Ident); isID && id.Name == errName {
+						ok = true
+					}
+					return !ok
+				})
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if _, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+						ok = true // sticky store like l.syncErr = err
+					}
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
