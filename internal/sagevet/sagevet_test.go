@@ -1,0 +1,27 @@
+package sagevet_test
+
+import (
+	"testing"
+
+	"sage/internal/sagevet/vettest"
+)
+
+func TestArenaWrite(t *testing.T) {
+	vettest.Run(t, "testdata/src", "arenatest", "arenawrite")
+}
+
+func TestHotAlloc(t *testing.T) {
+	vettest.Run(t, "testdata/src", "hottest", "hotalloc")
+}
+
+func TestCtxCheckpoint(t *testing.T) {
+	vettest.Run(t, "testdata/src", "ctxtest", "ctxcheckpoint")
+}
+
+func TestSyncErr(t *testing.T) {
+	vettest.Run(t, "testdata/src", "synctest", "syncerr")
+}
+
+func TestWalOrder(t *testing.T) {
+	vettest.Run(t, "testdata/src", "waltest", "walorder")
+}

@@ -1,0 +1,64 @@
+// Package arenatest is the golden suite for the arenawrite analyzer:
+// writes through arena-aliasing slices are flagged; clones and
+// construction-time fills are not.
+package arenatest
+
+type G struct {
+	//sage:arena
+	edges []uint32
+	n     int
+}
+
+//sage:arena-view
+func (g *G) Edges() []uint32 { return g.edges }
+
+// View is the interface-method form of the annotation: callers flagged
+// through the keyed mark even when the callee is dynamic.
+type View interface {
+	//sage:arena-view
+	Edges() []uint32
+}
+
+func writes(g *G) {
+	e := g.Edges()
+	e[0] = 1       // want "write through arena-backed slice e"
+	g.edges[1] = 2 // want "write through arena-backed slice g.edges"
+	sub := e[1:]
+	sub[0]++         // want "write through arena-backed slice sub"
+	copy(e, sub)     // want "copy into arena-backed slice e"
+	_ = append(e, 3) // want "append onto arena-backed slice e"
+}
+
+func ifaceWrites(v View) {
+	e := v.Edges()
+	e[0] = 1 // want "write through arena-backed slice e"
+}
+
+// clones own their backing arrays: writing them is legal.
+func clones(g *G) {
+	e := g.Edges()
+	c1 := append([]uint32(nil), e...)
+	c1[0] = 1
+	c2 := append(e[:0:0], e...)
+	c2[0] = 2
+	dst := make([]uint32, len(e))
+	copy(dst, e)
+	dst[0] = 3
+}
+
+// build fills a graph it allocates itself: the fields are fresh heap
+// memory, not an mmap view, so the loader writes are clean.
+func build(n int) *G {
+	g := &G{n: n}
+	g.edges = make([]uint32, n)
+	for i := range g.edges {
+		g.edges[i] = uint32(i)
+	}
+	return g
+}
+
+// waived is a deliberate exception, silenced in place.
+func waived(g *G) {
+	e := g.Edges()
+	e[0] = 9 //sage:allow arenawrite
+}

@@ -1,0 +1,74 @@
+// Package synctest is the golden suite for the syncerr analyzer:
+// Sync/Close/durable errors must be consumed, and fsync errors inside
+// loops must be sticky.
+package synctest
+
+import (
+	"io"
+	"os"
+)
+
+type F struct{ err error }
+
+func (f *F) Sync() error  { return f.err }
+func (f *F) Close() error { return f.err }
+
+//sage:durable
+func durableOp() error { return nil }
+
+func discards(f *F, osf *os.File) {
+	f.Sync()        // want "result of Sync is discarded"
+	f.Close()       // want "result of Close is discarded"
+	osf.Close()     // want "result of Close is discarded"
+	durableOp()     // want `result of durableOp \(//sage:durable\) is discarded`
+	_ = durableOp() // want "error from //sage:durable durableOp is discarded with _"
+}
+
+func consumed(f *F, c io.Closer) {
+	// Explicit waiver is accepted for plain Close/Sync...
+	_ = f.Close()
+	// ...deferred cleanup is idiomatic...
+	defer f.Close()
+	// ...foreign Closers are not this analyzer's business...
+	c.Close()
+	// ...and handling the error is of course fine.
+	if err := f.Sync(); err != nil {
+		panic(err)
+	}
+}
+
+func nonSticky(f *F) {
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); err != nil { // want "fsync error is not sticky"
+			continue
+		}
+	}
+}
+
+type state struct{ err error }
+
+func sticky(f *F, s *state) error {
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); err != nil {
+			return err // escapes the loop
+		}
+	}
+	for i := 0; i < 3; i++ {
+		err := f.Sync()
+		if err != nil {
+			s.err = err // recorded where it outlives the iteration
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); err != nil {
+			record(s, err) // handed to a recorder
+		}
+	}
+	return nil
+}
+
+func record(s *state, err error) { s.err = err }
+
+func waived(f *F) {
+	f.Sync() //sage:allow syncerr
+}

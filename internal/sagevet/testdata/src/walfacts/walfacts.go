@@ -1,0 +1,10 @@
+// Package walfacts exports annotated functions for waltest: the marks
+// must survive the package boundary through the fact table.
+package walfacts
+
+//sage:durable
+//sage:durable-append
+func Append() error { return nil }
+
+//sage:publish
+func Publish() {}

@@ -1,0 +1,7 @@
+// Test files are exempt from walorder: harnesses republish snapshots
+// without appending.
+package waltest
+
+func testPublish() {
+	publish() // no finding: _test.go files are skipped
+}

@@ -1,0 +1,50 @@
+// Package waltest is the golden suite for the walorder analyzer: an
+// overlay publish must be preceded, in the same function, by a durable
+// WAL append.
+package waltest
+
+import "walfacts"
+
+//sage:durable
+//sage:durable-append
+func walAppend() error { return nil }
+
+//sage:publish
+func publish() {}
+
+func goodApply() error {
+	if err := walAppend(); err != nil {
+		return err
+	}
+	publish()
+	return nil
+}
+
+func badApply() {
+	publish() // want "overlay publish without a preceding durable WAL append in badApply"
+	if err := walAppend(); err != nil {
+		return
+	}
+}
+
+func noAppend() {
+	publish() // want "overlay publish without a preceding durable WAL append in noAppend"
+}
+
+// replay republishes records that are already durable.
+func replay() {
+	publish() //sage:allow walorder
+}
+
+// Cross-package: the marks on walfacts flow in through its fact table.
+func crossBad() {
+	walfacts.Publish() // want "overlay publish without a preceding durable WAL append in crossBad"
+}
+
+func crossGood() error {
+	if err := walfacts.Append(); err != nil {
+		return err
+	}
+	walfacts.Publish()
+	return nil
+}

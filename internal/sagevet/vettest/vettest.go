@@ -1,0 +1,215 @@
+// Package vettest runs the sagevet analyzers over golden packages under
+// testdata/src and checks their diagnostics against expectations written
+// in the source itself:
+//
+//	e[0] = 1 // want "write through arena-backed slice"
+//
+// The string is a regular expression matched against diagnostics reported
+// on that line; every want must be hit and every diagnostic must be
+// wanted. Testdata packages may import each other by bare path (the
+// loader resolves siblings under the same root first, then the standard
+// library from source), which exercises the cross-package fact flow the
+// go-vet driver performs with .vetx files.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sage/internal/sagevet"
+	"sage/internal/sagevet/analysis"
+)
+
+// Run loads root/path (and, recursively, its testdata siblings), runs the
+// named analyzers over every loaded package, and reports mismatches
+// between diagnostics and want comments on t.
+func Run(t *testing.T, root, path string, analyzers ...string) {
+	t.Helper()
+	enabled := func(name string) bool {
+		for _, a := range analyzers {
+			if a == name {
+				return true
+			}
+		}
+		return false
+	}
+	l := &loader{
+		root:    root,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*types.Package{},
+		exports: map[string]map[string]map[string][]string{},
+		std:     importer.ForCompiler(token.NewFileSet(), "source", nil),
+		enabled: enabled,
+	}
+	if _, err := l.load(path); err != nil {
+		t.Fatal(err)
+	}
+	checkExpectations(t, l)
+}
+
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	pkgs    map[string]*types.Package
+	exports map[string]map[string]map[string][]string // path -> fact table
+	std     types.Importer
+	enabled func(string) bool
+
+	files []*ast.File
+	diags []analysis.Diagnostic
+}
+
+// Import implements types.Importer: testdata siblings first, then the
+// standard library compiled from source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, path)); err == nil && st.IsDir() {
+		return l.load(path)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*types.Package, error) {
+	dir := filepath.Join(l.root, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("vettest: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	l.pkgs[path] = pkg
+
+	// Deps finished loading during Check; hand their facts over exactly
+	// as the vet driver would via .vetx files.
+	marks := analysis.NewMarkSet()
+	depPaths := make([]string, 0, len(l.exports))
+	for p := range l.exports {
+		depPaths = append(depPaths, p)
+	}
+	sort.Strings(depPaths)
+	for _, p := range depPaths {
+		for pkgPath, objs := range l.exports[p] {
+			marks.AddImported(pkgPath, objs)
+		}
+	}
+	diags, err := sagevet.RunPackage(sagevet.Unit{
+		Fset:  l.fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+		// Each golden package stands for its own module: sibling imports
+		// model external deps, whose facts still flow via the mark table.
+		Module: path,
+		Marks:  marks,
+	}, l.enabled)
+	if err != nil {
+		return nil, err
+	}
+	l.exports[path] = marks.Export(pkg)
+	l.files = append(l.files, files...)
+	l.diags = append(l.diags, diags...)
+	return pkg, nil
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*"|` + "`[^`]*`" + `)\s*$`)
+
+// checkExpectations matches the collected diagnostics against the want
+// comments in every loaded file.
+func checkExpectations(t *testing.T, l *loader) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	matched := map[key][]bool{}
+	for _, f := range l.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pat, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want string %s", l.fset.Position(c.Pos()), m[1])
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", l.fset.Position(c.Pos()), err)
+				}
+				p := l.fset.Position(c.Pos())
+				k := key{p.Filename, p.Line}
+				wants[k] = append(wants[k], rx)
+				matched[k] = append(matched[k], false)
+			}
+		}
+	}
+	for _, d := range l.diags {
+		p := l.fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		hit := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				matched[k][i] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", p, d.Analyzer, d.Message)
+		}
+	}
+	for k, rxs := range wants {
+		for i, rx := range rxs {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", relPath(k.file), k.line, rx)
+			}
+		}
+	}
+}
+
+func relPath(p string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+	}
+	return p
+}
