@@ -29,9 +29,12 @@ type CGraph struct {
 	m         uint64
 	blockSize uint32
 	weighted  bool
-	degrees   []uint32
-	vtxOff    []uint64 // byte offset of each vertex's region in data; len n+1
-	data      []byte
+	//sage:arena
+	degrees []uint32
+	//sage:arena
+	vtxOff []uint64 // byte offset of each vertex's region in data; len n+1
+	//sage:arena
+	data []byte
 }
 
 // Compress encodes g with the given block size (edges per block).
@@ -61,6 +64,8 @@ func Compress(g *graph.Graph, blockSize int) *CGraph {
 }
 
 // numBlocks returns ceil(deg/blockSize) for vertex v.
+//
+//sage:hotpath
 func (c *CGraph) numBlocks(v uint32) uint32 {
 	d := c.degrees[v]
 	if d == 0 {
@@ -132,6 +137,8 @@ func (c *CGraph) NumVertices() uint32 { return c.n }
 func (c *CGraph) NumEdges() uint64 { return c.m }
 
 // Degree implements graph.Adj.
+//
+//sage:hotpath
 func (c *CGraph) Degree(v uint32) uint32 { return c.degrees[v] }
 
 // Weighted implements graph.Adj.
@@ -180,6 +187,9 @@ func (c *CGraph) ScanCost(v uint32, lo, hi uint32) int64 {
 }
 
 // region returns the encoded byte region of v.
+//
+//sage:arena-view
+//sage:hotpath
 func (c *CGraph) region(v uint32) []byte {
 	return c.data[c.vtxOff[v]:c.vtxOff[v+1]]
 }
@@ -218,6 +228,8 @@ func (c *CGraph) IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w int
 // decodeBlock walks block b of v's region, calling fn(pos, ngh, w) with
 // the global adjacency position; it returns false if fn aborted.
 // Unweighted graphs pass w = 1.
+//
+//sage:hotpath
 func (c *CGraph) decodeBlock(v, b uint32, region []byte, fn func(i, ngh uint32, w int32) bool) bool {
 	lo := b * c.blockSize
 	hi := min(lo+c.blockSize, c.degrees[v])

@@ -8,6 +8,8 @@ package compress
 
 // FlatRange implements graph.FlatAdj: byte-compressed adjacency is never
 // flat, so callers must decode.
+//
+//sage:hotpath
 func (c *CGraph) FlatRange(_, _, _ uint32) ([]uint32, []int32, bool) {
 	return nil, nil, false
 }
@@ -17,6 +19,8 @@ func (c *CGraph) FlatRange(_, _, _ uint32) ([]uint32, []int32, bool) {
 // as needed) and returns the filled slice. Positions before lo inside the
 // first block are decoded and skipped, the same cost behaviour as
 // IterRange (Appendix D.1).
+//
+//sage:hotpath
 func (c *CGraph) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
 	buf = buf[:0]
 	if hi > c.degrees[v] {
@@ -85,6 +89,8 @@ func (c *CGraph) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
 // DecodeRangeW implements graph.FlatAdj: like DecodeRange but also
 // decoding the interleaved zigzag-varint weights into wbuf. For
 // unweighted graphs the returned weight slice is nil (weights all 1).
+//
+//sage:hotpath
 func (c *CGraph) DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32) {
 	if !c.weighted {
 		return c.DecodeRange(v, lo, hi, buf), nil

@@ -27,6 +27,8 @@ func putVarint(out []byte, x uint64) int {
 
 // getVarint decodes a varint from in, returning the value and the number
 // of bytes consumed.
+//
+//sage:hotpath
 func getVarint(in []byte) (uint64, int) {
 	var x uint64
 	var shift uint
@@ -44,6 +46,8 @@ func getVarint(in []byte) (uint64, int) {
 func zigzag(x int64) uint64 { return uint64((x << 1) ^ (x >> 63)) }
 
 // unzigzag inverts zigzag.
+//
+//sage:hotpath
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // putU32 writes a little-endian uint32.
@@ -55,6 +59,8 @@ func putU32(out []byte, x uint32) {
 }
 
 // getU32 reads a little-endian uint32.
+//
+//sage:hotpath
 func getU32(in []byte) uint32 {
 	return uint32(in[0]) | uint32(in[1])<<8 | uint32(in[2])<<16 | uint32(in[3])<<24
 }

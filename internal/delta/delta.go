@@ -337,6 +337,8 @@ func (o *Overlay) NumEdges() uint64 { return o.m }
 func (o *Overlay) Weighted() bool { return o.weighted }
 
 // Degree returns the merged degree of v.
+//
+//sage:hotpath
 func (o *Overlay) Degree(v uint32) uint32 {
 	d, ok := o.verts[v]
 	if !ok {
@@ -464,6 +466,8 @@ func (o *Overlay) IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w in
 // --------------------------------------------------------------------
 
 // FlatRange implements graph.FlatAdj: merged adjacency is never flat.
+//
+//sage:hotpath
 func (o *Overlay) FlatRange(v, lo, hi uint32) ([]uint32, []int32, bool) {
 	return nil, nil, false
 }

@@ -12,6 +12,7 @@ type Adj interface {
 	// NumEdges returns the number of stored arcs m.
 	NumEdges() uint64
 	// Degree returns deg(v).
+	//sage:hotpath
 	Degree(v uint32) uint32
 	// AvgDegree returns max(1, m/n), the chunking group size davg.
 	AvgDegree() uint32

@@ -79,6 +79,8 @@ func NewHeapArena(data []byte) *Arena { return &Arena{data: data} }
 
 // Bytes returns the full region. The slice is read-only: for mapped arenas
 // the pages are mapped PROT_READ and writing through it faults.
+//
+//sage:arena-view
 func (a *Arena) Bytes() []byte { return a.data }
 
 // Mapped reports whether the arena is a live memory mapping (as opposed to
@@ -122,6 +124,8 @@ func aligned8(b []byte) bool {
 // On little-endian hosts with aligned input the view aliases b with no
 // copy; otherwise it decodes into a fresh slice. forceCopy requests the
 // decoded form regardless (the WithCopy open path).
+//
+//sage:arena-view
 func Uint64sLE(b []byte, forceCopy bool) []uint64 {
 	k := len(b) / 8
 	if k == 0 {
@@ -139,6 +143,8 @@ func Uint64sLE(b []byte, forceCopy bool) []uint64 {
 
 // Uint32sLE views b (little-endian uint32 data) as a []uint32; see
 // Uint64sLE for the aliasing rules.
+//
+//sage:arena-view
 func Uint32sLE(b []byte, forceCopy bool) []uint32 {
 	k := len(b) / 4
 	if k == 0 {
@@ -156,6 +162,8 @@ func Uint32sLE(b []byte, forceCopy bool) []uint32 {
 
 // Int32sLE views b (little-endian int32 data) as a []int32; see Uint64sLE
 // for the aliasing rules.
+//
+//sage:arena-view
 func Int32sLE(b []byte, forceCopy bool) []int32 {
 	k := len(b) / 4
 	if k == 0 {

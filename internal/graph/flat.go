@@ -21,13 +21,17 @@ type FlatAdj interface {
 	// graphs, and ok=false if the representation is not flat (compressed
 	// or filtered) and the caller must use DecodeRange instead. Returned
 	// slices are read-only.
+	//sage:arena-view
+	//sage:hotpath
 	FlatRange(v, lo, hi uint32) (nghs []uint32, ws []int32, ok bool)
 	// DecodeRange decodes the neighbors at positions [lo, hi) of v into
 	// buf (reusing its capacity; contents are overwritten) and returns
 	// the filled slice. hi is clamped to deg(v).
+	//sage:hotpath
 	DecodeRange(v, lo, hi uint32, buf []uint32) []uint32
 	// DecodeRangeW additionally decodes the aligned weights into wbuf.
 	// The returned ws is nil when the graph is unweighted (weights all 1).
+	//sage:hotpath
 	DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32)
 }
 
@@ -52,6 +56,8 @@ type ScratchPool struct {
 }
 
 // Get returns worker w's scratch buffer.
+//
+//sage:hotpath
 func (p *ScratchPool) Get(w int) *Scratch { return &p.ws[w] }
 
 // Flat resolves an Adj's fastest access path once, outside the hot loop.
@@ -90,6 +96,9 @@ func (f *Flat) ZeroCopy() bool { return f.zero }
 // not already flat. It is meant for scans without early exit; early-
 // exiting scans over non-zero-copy representations are better served by
 // IterRange, which stops decoding at the exit point.
+//
+//sage:arena-view
+//sage:hotpath
 func (f *Flat) Slice(v, lo, hi uint32, s *Scratch) ([]uint32, []int32) {
 	if f.csr != nil {
 		base := f.csr.offsets[v]
@@ -110,12 +119,17 @@ func (f *Flat) Slice(v, lo, hi uint32, s *Scratch) ([]uint32, []int32) {
 		s.Nghs = f.fa.DecodeRange(v, lo, hi, s.Nghs)
 		return s.Nghs, nil
 	}
-	return f.iterInto(v, lo, hi, s)
+	// The IterRange fallback builds closures; it only runs for foreign
+	// Adj implementations, never for in-repo representations.
+	return f.iterInto(v, lo, hi, s) //sage:allow hotalloc
 }
 
 // Full returns v's complete adjacency as flat slices. For CSR it is a
 // pure slice expression — no interface dispatch, not even for the degree
 // — making it the cheapest per-vertex entry into the hot loops.
+//
+//sage:arena-view
+//sage:hotpath
 func (f *Flat) Full(v uint32, s *Scratch) ([]uint32, []int32) {
 	if f.csr != nil {
 		lo, hi := f.csr.offsets[v], f.csr.offsets[v+1]
@@ -149,6 +163,9 @@ func (f *Flat) iterInto(v, lo, hi uint32, s *Scratch) ([]uint32, []int32) {
 
 // FlatRange implements FlatAdj for the CSR representation: both arrays
 // are already flat, so the slices alias the graph.
+//
+//sage:arena-view
+//sage:hotpath
 func (g *Graph) FlatRange(v, lo, hi uint32) ([]uint32, []int32, bool) {
 	base := g.offsets[v]
 	nghs := g.edges[base+uint64(lo) : base+uint64(hi)]
@@ -160,6 +177,8 @@ func (g *Graph) FlatRange(v, lo, hi uint32) ([]uint32, []int32, bool) {
 
 // DecodeRange implements FlatAdj (copying form; FlatRange is the fast
 // path and callers prefer it).
+//
+//sage:hotpath
 func (g *Graph) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
 	if d := g.Degree(v); hi > d {
 		hi = d
@@ -172,6 +191,8 @@ func (g *Graph) DecodeRange(v, lo, hi uint32, buf []uint32) []uint32 {
 }
 
 // DecodeRangeW implements FlatAdj.
+//
+//sage:hotpath
 func (g *Graph) DecodeRangeW(v, lo, hi uint32, buf []uint32, wbuf []int32) ([]uint32, []int32) {
 	if d := g.Degree(v); hi > d {
 		hi = d

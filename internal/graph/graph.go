@@ -30,11 +30,14 @@ type WEdge struct {
 // word addresses (offsets at [0, n+1), edges at [n+1, n+1+m), weights
 // following) used by the Memory-Mode cache simulator.
 type Graph struct {
-	n       uint32
-	m       uint64
+	n uint32
+	m uint64
+	//sage:arena
 	offsets []uint64 // len n+1, offsets[v]..offsets[v+1] index edges
-	edges   []uint32 // len m, sorted within each vertex
-	weights []int32  // len m or nil
+	//sage:arena
+	edges []uint32 // len m, sorted within each vertex
+	//sage:arena
+	weights []int32 // len m or nil
 }
 
 // NumVertices returns n.
@@ -48,18 +51,26 @@ func (g *Graph) NumEdges() uint64 { return g.m }
 func (g *Graph) Weighted() bool { return g.weights != nil }
 
 // Degree returns deg(v).
+//
+//sage:hotpath
 func (g *Graph) Degree(v uint32) uint32 {
 	return uint32(g.offsets[v+1] - g.offsets[v])
 }
 
 // Neighbors returns the sorted adjacency slice of v. The slice aliases the
 // graph and must be treated as read-only.
+//
+//sage:arena-view
+//sage:hotpath
 func (g *Graph) Neighbors(v uint32) []uint32 {
 	return g.edges[g.offsets[v]:g.offsets[v+1]]
 }
 
 // NeighborWeights returns the weights aligned with Neighbors(v), or nil
 // for unweighted graphs.
+//
+//sage:arena-view
+//sage:hotpath
 func (g *Graph) NeighborWeights(v uint32) []int32 {
 	if g.weights == nil {
 		return nil
@@ -68,9 +79,13 @@ func (g *Graph) NeighborWeights(v uint32) []int32 {
 }
 
 // Offsets exposes the offsets array (read-only).
+//
+//sage:arena-view
 func (g *Graph) Offsets() []uint64 { return g.offsets }
 
 // Edges exposes the flat edge array (read-only).
+//
+//sage:arena-view
 func (g *Graph) Edges() []uint32 { return g.edges }
 
 // EdgeAddr returns the simulated NVRAM word address of edge position
@@ -94,6 +109,8 @@ func (g *Graph) ScanCost(v uint32, lo, hi uint32) int64 {
 // IterRange calls fn(i, ngh, w) for each adjacency position i in [lo, hi)
 // of vertex v, stopping early if fn returns false. Unweighted graphs pass
 // w = 1.
+//
+//sage:hotpath
 func (g *Graph) IterRange(v uint32, lo, hi uint32, fn func(i, ngh uint32, w int32) bool) {
 	base := g.offsets[v]
 	nghs := g.edges[base+uint64(lo) : base+uint64(hi)]

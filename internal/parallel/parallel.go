@@ -83,6 +83,8 @@ type loopDesc struct {
 }
 
 // run drains blocks as the given worker.
+//
+//sage:hotpath
 func (d *loopDesc) run(worker int) {
 	for {
 		b := int(d.next.Add(1)) - 1

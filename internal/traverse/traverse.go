@@ -212,6 +212,8 @@ func edgeMapDense(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops
 // check is needed only after an Update invocation, not on every edge; the
 // stop position (and hence the charged scan count) is identical to the
 // per-edge check.
+//
+//sage:hotpath
 func densePiece(ops Ops, from, out []bool, d uint32, nghs []uint32, ws []int32, produced *int64) (int64, bool) {
 	if ws == nil {
 		for j, s := range nghs {
