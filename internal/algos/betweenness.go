@@ -63,6 +63,7 @@ func Betweenness(g graph.Adj, o *Options, src uint32) []float64 {
 	o.Env.Alloc(int64(n))
 	defer o.Env.Free(int64(n))
 	for l := len(rounds) - 2; l >= 0; l-- {
+		o.Checkpoint()
 		lvl := uint32(l)
 		ids := rounds[l]
 		parallel.ForWorker(len(ids), 8, func(w, i int) {

@@ -69,7 +69,7 @@ func Biconnectivity(g graph.Adj, o *Options) *BiconnResult {
 
 	// 3. Subtree sizes bottom-up, preorder numbers top-down.
 	size := make([]uint32, n)
-	t.bottomUp(func(v uint32) {
+	t.bottomUp(o, func(v uint32) {
 		s := uint32(1)
 		for _, c := range t.children(v) {
 			s += size[c]
@@ -81,7 +81,7 @@ func Biconnectivity(g graph.Adj, o *Options) *BiconnResult {
 	parallel.For(len(roots), 0, func(i int) { rootOffsets[i] = size[roots[i]] })
 	parallel.Scan(rootOffsets)
 	parallel.For(len(roots), 0, func(i int) { pre[roots[i]] = rootOffsets[i] })
-	t.topDown(func(v uint32) {
+	t.topDown(o, func(v uint32) {
 		off := pre[v] + 1
 		for _, c := range t.children(v) {
 			pre[c] = off
@@ -111,7 +111,7 @@ func Biconnectivity(g graph.Adj, o *Options) *BiconnResult {
 		}
 		o.Env.GraphRead(w, 0, scanned)
 	})
-	t.bottomUp(func(v uint32) {
+	t.bottomUp(o, func(v uint32) {
 		for _, c := range t.children(v) {
 			low[v] = min(low[v], low[c])
 			high[v] = max(high[v], high[c])
@@ -211,16 +211,18 @@ func (t *tree) children(v uint32) []uint32 {
 
 // bottomUp applies fn to every reachable vertex, deepest level first, in
 // parallel within a level.
-func (t *tree) bottomUp(fn func(v uint32)) {
+func (t *tree) bottomUp(o *Options, fn func(v uint32)) {
 	for l := int(t.maxLevel); l >= 0; l-- {
+		o.Checkpoint()
 		seg := t.levelIdx[t.levelOff[l]:t.levelOff[l+1]]
 		parallel.For(len(seg), 16, func(i int) { fn(seg[i]) })
 	}
 }
 
 // topDown applies fn level 0 downward.
-func (t *tree) topDown(fn func(v uint32)) {
+func (t *tree) topDown(o *Options, fn func(v uint32)) {
 	for l := 0; l <= int(t.maxLevel); l++ {
+		o.Checkpoint()
 		seg := t.levelIdx[t.levelOff[l]:t.levelOff[l+1]]
 		parallel.For(len(seg), 16, func(i int) { fn(seg[i]) })
 	}

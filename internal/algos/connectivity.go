@@ -157,6 +157,7 @@ func spanningForestRec(g graph.Adj, o *Options, seed uint64) []graph.Edge {
 	cg, _, _ := contract(g, o, ldd.Cluster, inter, witness)
 	subForest := spanningForestRec(cg, o, seed+0x1000193)
 	for _, e := range subForest {
+		o.Checkpoint()
 		// Translate the contracted edge back through its witness arc
 		// (edgeKey is canonical in the endpoint order).
 		if w, okW := witness.Get(edgeKey(e.U, e.V)); okW {

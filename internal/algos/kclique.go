@@ -41,8 +41,11 @@ func KCliqueCount(g graph.Adj, o *Options, k int) int64 {
 			return
 		}
 		sh.levels[0] = f.ActiveList(w, v, sh.levels[0], &sh.stats)
-		sh.count += sh.extend(f, w, 1, k-1)
+		sh.count += sh.extend(o, f, w, 1, k-1)
 	})
+	// The workers bail out early on cancellation (they cannot panic off
+	// their own goroutines); surface it here before totals are trusted.
+	o.Checkpoint()
 	var total int64
 	for i := range shards {
 		total += shards[i].count
@@ -64,13 +67,18 @@ type cliqueShard struct {
 // extend counts cliques completed by choosing `remaining` more vertices
 // from levels[depth-1], intersecting with each candidate's
 // out-neighborhood in turn.
-func (sh *cliqueShard) extend(f EdgeFilter, worker, depth, remaining int) int64 {
+func (sh *cliqueShard) extend(o *Options, f EdgeFilter, worker, depth, remaining int) int64 {
 	cands := sh.levels[depth-1]
 	if remaining == 1 {
 		return int64(len(cands))
 	}
 	var total int64
 	for _, u := range cands {
+		// Workers poll without panicking; KCliqueCount checkpoints after
+		// the sweep, so a partial count never escapes.
+		if o.Env != nil && o.Env.Ctx != nil && o.Env.Ctx.Err() != nil {
+			return total
+		}
 		if f.Degree(u) == 0 {
 			continue
 		}
@@ -79,7 +87,7 @@ func (sh *cliqueShard) extend(f EdgeFilter, worker, depth, remaining int) int64 
 		next = intersectInto(next, cands, sh.nghs, &sh.stats)
 		sh.levels[depth] = next
 		if len(next) >= remaining-1 {
-			total += sh.extend(f, worker, depth+1, remaining-1)
+			total += sh.extend(o, f, worker, depth+1, remaining-1)
 		}
 	}
 	return total

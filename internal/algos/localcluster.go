@@ -56,6 +56,7 @@ func LocalCluster(g graph.Adj, o *Options, seed uint32, damping float64, maxSize
 	var vol, cut int64
 	bestIdx, bestCond := 0, 2.0
 	for i, v := range order {
+		o.Checkpoint()
 		deg := int64(g.Degree(v))
 		// Adding v: edges to current members stop being cut; the rest
 		// start.

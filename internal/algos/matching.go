@@ -33,6 +33,7 @@ func MaximalMatching(g graph.Adj, o *Options) []graph.Edge {
 		newCut := vCut
 		var acc int64
 		for newCut < n && acc < budget {
+			o.Checkpoint()
 			acc += int64(f.Degree(newCut))
 			newCut++
 		}
@@ -63,6 +64,7 @@ func MaximalMatching(g graph.Adj, o *Options) []graph.Edge {
 
 		// Deterministic reservations until the extracted set drains.
 		for len(live) > 0 {
+			o.Checkpoint()
 			parallel.ForWorker(len(live), 0, func(w, i int) {
 				e := live[i]
 				p := hash64(edgeKey(e.U, e.V), o.Seed) | 1
