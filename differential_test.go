@@ -481,7 +481,7 @@ func persistAndOpen(t *testing.T, dir, name string, g *sage.Graph, compress, cop
 	if err != nil {
 		t.Fatalf("open %s: %v", name, err)
 	}
-	t.Cleanup(func() { opened.Close() })
+	t.Cleanup(func() { _ = opened.Close() })
 	if compress && !opened.Compressed() {
 		t.Fatalf("%s: compressed graph reopened uncompressed", name)
 	}

@@ -145,7 +145,7 @@ func (u *updates) openSegment(ws *walState, name, path string) {
 	}
 	h, err := u.catalog.acquire(name)
 	if err != nil {
-		log.Close()
+		_ = log.Close() // abandoning the log; the open error is the story
 		ws.log = nil
 		u.setWALHealth(ws, fmt.Errorf("opening base for replay: %w", err))
 		return
@@ -158,7 +158,11 @@ func (u *updates) openSegment(ws *walState, name, path string) {
 		if err != nil {
 			// A record that no longer applies to this base is cut off like
 			// a torn tail: everything before it is the recovered state.
-			log.TruncateTo(good)
+			if terr := log.TruncateTo(good); terr != nil {
+				// The bad tail is still on disk and would replay again
+				// after a crash; refuse writes until the disk recovers.
+				u.setWALHealth(ws, fmt.Errorf("truncating unreplayable tail: %w", terr))
+			}
 			break
 		}
 		snap = next
@@ -175,7 +179,8 @@ func (u *updates) openSegment(ws *walState, name, path string) {
 		h.Release()
 		return
 	}
-	gen := u.catalog.cache.Bump(path)
+	// Replay republishes records the WAL already holds; no new append is due.
+	gen := u.catalog.cache.Bump(path) //sage:allow walorder
 	nv := &snapVersion{snap: snap, gen: gen, ds: h.Dataset(), h: h, refs: 1}
 	u.mu.Lock()
 	u.versions[name] = nv
@@ -210,6 +215,8 @@ func (u *updates) ensureRecovered(name string) {
 // off its tail, so the next attempt probes a healthy disk successfully
 // and the dataset recovers without intervention. Caller holds the
 // dataset update lock.
+//
+//sage:durable-append
 func (u *updates) walAppend(ws *walState, name string, ops []sage.EdgeOp) error {
 	if ws.log == nil {
 		u.readOnlyRejected.Add(1)
@@ -238,7 +245,10 @@ func (u *updates) retireSegment(ws *walState, name, path string) {
 		return
 	}
 	if ws.log != nil {
-		ws.log.CloseAndRemove()
+		// A failed remove leaves a stale segment that can never replay
+		// (its fingerprint no longer matches the rewritten container),
+		// and openSegment's fresh open re-probes the disk immediately.
+		ws.log.CloseAndRemove() //sage:allow syncerr
 		ws.log = nil
 	}
 	u.openSegment(ws, name, path)

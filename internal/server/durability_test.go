@@ -26,7 +26,7 @@ func newDurableChainServer(t *testing.T, fs wal.FS) (*httptest.Server, *server.S
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
-		s.Close()
+		_ = s.Close()
 	})
 	return ts, s
 }

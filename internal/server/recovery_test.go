@@ -47,7 +47,7 @@ func newWALServer(t *testing.T, path string, fs wal.FS) *Server {
 	if err := s.AddDataset("g", path); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { s.Close() })
+	t.Cleanup(func() { _ = s.Close() })
 	return s
 }
 
@@ -201,7 +201,7 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 					if acked == len(batches) {
 						t.Fatalf("all batches acked despite crash at step %d", acked)
 					}
-					srv.Close()
+					_ = srv.Close()
 
 					// No compaction ran: the stored container must be
 					// byte-identical to the pre-crash base.
@@ -364,7 +364,7 @@ func compactionFailureCase(t *testing.T, stage string) {
 			t.Fatalf("%s: WAL segment modified by failed compaction", stage)
 		}
 	}
-	srv.Close()
+	_ = srv.Close()
 
 	// Restart: both shapes must recover to exactly the post-batch state
 	// — by replaying the intact log (pre-rename) or by discarding the
@@ -417,7 +417,7 @@ func TestCrashBetweenRenameAndRetire(t *testing.T) {
 	if _, err := srv.updates.apply("g", nil, true); err != nil {
 		t.Fatal(err)
 	}
-	srv.Close()
+	_ = srv.Close()
 	if err := os.WriteFile(path+WALSuffix, staleWAL, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -182,8 +182,11 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // releases every idle resident dataset. Call after the HTTP server has
 // shut down (no runs in flight).
 func (s *Server) Close() error {
-	s.updates.close()
-	return s.catalog.close()
+	uerr := s.updates.close()
+	if cerr := s.catalog.close(); uerr == nil {
+		uerr = cerr
+	}
+	return uerr
 }
 
 // ServeHTTP dispatches to the service endpoints.

@@ -51,7 +51,7 @@ func newTestServer(t *testing.T, cfg server.Config) *httptest.Server {
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
-		s.Close()
+		_ = s.Close()
 	})
 	return ts
 }
@@ -416,7 +416,7 @@ func TestDatasetEvictionBumpsGeneration(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer func() {
 		ts.Close()
-		s.Close()
+		_ = s.Close()
 	}()
 
 	code, run, _ := postRun(t, ts.URL, "web", "bfs", ``)

@@ -305,8 +305,10 @@ func (u *updates) retire(name string) {
 
 // close retires every version (in-flight pins still defer the base
 // release until their runs end) and closes every WAL segment, flushing
-// appended records per policy.
-func (u *updates) close() {
+// appended records per policy. The first close error is returned: Close
+// performs the final flush, so a failure here can mean a logged batch
+// never reached the disk.
+func (u *updates) close() error {
 	u.mu.Lock()
 	names := make([]string, 0, len(u.versions))
 	for name := range u.versions {
@@ -324,9 +326,13 @@ func (u *updates) close() {
 	for _, name := range names {
 		u.retire(name)
 	}
+	var first error
 	for _, l := range logs {
-		l.Close()
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }
 
 // snapshot reports the update counters for /metrics.

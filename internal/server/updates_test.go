@@ -41,7 +41,7 @@ func newChainServer(t *testing.T, cfg server.Config) *httptest.Server {
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
-		s.Close()
+		_ = s.Close()
 	})
 	return ts
 }

@@ -98,7 +98,7 @@ func (c *Cache) Acquire(path string, opts OpenOptions) (*Handle, error) {
 		// Lost an open race; keep the incumbent and drop ours.
 		h := c.handle(e)
 		c.mu.Unlock()
-		ds.Close()
+		_ = ds.Close() // lost the insert race; the cached copy wins
 		return h, nil
 	}
 	c.gens[path]++
@@ -150,7 +150,7 @@ func (c *Cache) evictLocked() {
 		delete(c.entries, victim.path)
 		c.openWords -= victim.words
 		c.evictions++
-		victim.ds.Close()
+		_ = victim.ds.Close()
 	}
 }
 
@@ -181,7 +181,7 @@ func (h *Handle) Release() {
 	h.released = true
 	h.e.refs--
 	if h.e.detached && h.e.refs == 0 {
-		h.e.ds.Close() // the invalidated dataset's last reader is gone
+		_ = h.e.ds.Close() // the invalidated dataset's last reader is gone
 		return
 	}
 	if !h.peek {
@@ -198,6 +198,8 @@ func (h *Handle) Release() {
 // is invalidated. Update layers call it when they change what the stored
 // path logically serves (a new delta overlay generation) while the
 // underlying file is untouched. It returns the new generation.
+//
+//sage:publish
 func (c *Cache) Bump(path string) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -225,7 +227,7 @@ func (c *Cache) Invalidate(path string) bool {
 	c.openWords -= e.words
 	c.evictions++
 	if e.refs == 0 {
-		e.ds.Close()
+		_ = e.ds.Close()
 	} else {
 		e.detached = true
 	}
@@ -245,7 +247,7 @@ func (c *Cache) Evict(path string) bool {
 	delete(c.entries, path)
 	c.openWords -= e.words
 	c.evictions++
-	e.ds.Close()
+	_ = e.ds.Close()
 	return true
 }
 

@@ -209,19 +209,19 @@ func Open(path string, opts OpenOptions) (*Dataset, error) {
 		f, err = Detect(b[:min(len(b), 64)], path)
 	}
 	if err != nil {
-		a.Close()
+		_ = a.Close()
 		return nil, err
 	}
 	ds, keep, err := f.Decode(a)
 	if err != nil {
-		a.Close()
+		_ = a.Close()
 		return nil, fmt.Errorf("store: %s as %s: %w", path, f.Name, err)
 	}
 	if keep {
 		ds.arena = a
 	} else {
 		if cerr := a.Close(); cerr != nil {
-			ds.Close()
+			_ = ds.Close()
 			return nil, cerr
 		}
 	}
@@ -259,7 +259,7 @@ func Create(path string, d *Dataset, formatName string) error {
 	}
 	tmp := w.Name()
 	fail := func(err error) error {
-		w.Close()
+		_ = w.Close()
 		os.Remove(tmp)
 		return err
 	}
@@ -312,8 +312,8 @@ func Create(path string, d *Dataset, formatName string) error {
 // rename is still atomic there.
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		_ = d.Sync()
+		_ = d.Close()
 	}
 }
 

@@ -154,7 +154,7 @@ func TestSniffing(t *testing.T) {
 			t.Fatalf("sniffing %s: %v", fname, err)
 		}
 		csrEqual(t, ds.CSR(), g)
-		ds.Close()
+		_ = ds.Close()
 	}
 }
 

@@ -388,7 +388,7 @@ func (f *faultFile) tearTo(tear int) {
 		if keep < f.size {
 			if g, err := f.fs.inner.OpenFile(f.name, os.O_RDWR, 0); err == nil {
 				g.Truncate(keep)
-				g.Close()
+				_ = g.Close()
 			}
 		}
 		return

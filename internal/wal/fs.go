@@ -61,6 +61,6 @@ func (osFS) SyncDir(dir string) error {
 	// Some filesystems cannot fsync a directory handle (EINVAL); the
 	// rename itself is still atomic there, so directory-sync failure is
 	// not propagated as a durability error.
-	d.Sync()
+	_ = d.Sync()
 	return d.Close()
 }

@@ -239,7 +239,7 @@ func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, rec, fmt.Errorf("wal: reading %s: %w", path, err)
 	}
 	l := &Log{fs: opts.FS, path: path, opts: opts, f: f}
@@ -251,7 +251,7 @@ func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
 	}
 	if fresh {
 		if err := l.initSegment(base, len(data) > 0); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, rec, err
 		}
 	} else {
@@ -269,12 +269,12 @@ func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
 		if torn := int64(len(data)) - off; torn > 0 {
 			rec.TornBytes = torn
 			if err := f.Truncate(off); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, rec, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
 			}
 		}
 		if _, err := f.Seek(off, io.SeekStart); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, rec, err
 		}
 		l.goodOff, l.curOff = off, off
@@ -395,6 +395,9 @@ func encodeRecord(seq uint64, ops []Op) []byte {
 // SyncInterval a sticky background-flush failure is surfaced here — the
 // append probes the disk first, so recovery is automatic once the log
 // becomes writable again.
+//
+//sage:durable
+//sage:durable-append
 func (l *Log) Append(ops []Op) (seq uint64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -481,6 +484,8 @@ func (l *Log) flushLoop() {
 }
 
 // Sync flushes appended records now, regardless of policy.
+//
+//sage:durable
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -523,6 +528,8 @@ func (l *Log) Path() string { return l.path }
 // that should survive (or the header size for none). Recovery uses it
 // when a logged batch fails to re-apply, treating everything from that
 // record on like a corrupt tail.
+//
+//sage:durable
 func (l *Log) TruncateTo(off int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -575,6 +582,8 @@ func (l *Log) Close() error {
 // is durably in place — from then on replaying these records would
 // double-apply them (and their fingerprint no longer matches, so even a
 // crash between the container rename and this removal is safe).
+//
+//sage:durable
 func (l *Log) CloseAndRemove() error {
 	err := l.Close()
 	if err != nil && !errors.Is(err, ErrClosed) {

@@ -112,7 +112,7 @@ func TestTornTailTruncated(t *testing.T) {
 		}
 	}
 	goodSize := l.Size()
-	l.Close()
+	_ = l.Close()
 
 	// A crash mid-append leaves a torn fragment on the tail.
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
@@ -120,7 +120,7 @@ func TestTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Write([]byte{9, 0, 0, 0, 0xde, 0xad}) // claims 9 payload bytes, has 0
-	f.Close()
+	_ = f.Close()
 
 	l2, rec, err := Open(walPath, fp, Options{})
 	if err != nil {
@@ -132,7 +132,7 @@ func TestTornTailTruncated(t *testing.T) {
 	if l2.Size() != goodSize {
 		t.Fatalf("torn tail not truncated: size %d want %d", l2.Size(), goodSize)
 	}
-	l2.Close()
+	_ = l2.Close()
 	if info, _ := os.Stat(walPath); info.Size() != goodSize {
 		t.Fatalf("file still torn on disk: %d", info.Size())
 	}
@@ -152,7 +152,7 @@ func TestCorruptMiddleRecordTruncatesFromThere(t *testing.T) {
 		}
 		ends = append(ends, l.Size())
 	}
-	l.Close()
+	_ = l.Close()
 
 	// Flip a payload byte of the second record: it and everything after it
 	// must be cut off, the first record must survive.
@@ -185,7 +185,7 @@ func TestFingerprintMismatchDiscardsSegment(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	l.Close()
+	_ = l.Close()
 
 	// "Compaction" rewrites the container; the stale segment's records
 	// must not replay onto the new generation.
@@ -253,7 +253,7 @@ func TestTruncateToDropsSuffix(t *testing.T) {
 	if err := l.TruncateTo(ends[1]); err == nil {
 		t.Fatal("TruncateTo past the end accepted")
 	}
-	l.Close()
+	_ = l.Close()
 
 	_, rec, err := Open(walPath, fp, Options{})
 	if err != nil {
