@@ -17,10 +17,13 @@
 //	POST /v1/update/{dataset}          batch edge updates; {"ops":[{"u":1,"v":2}]}
 //	GET  /metrics                      engine PSAM aggregate + service counters
 //
-// Admission control: -max-concurrent bounds runs in flight and
+// Admission control: -max-concurrent bounds runs in flight,
 // -dram-budget bounds their summed estimated DRAM residency in simulated
-// words; excess load is shed with 429 + a Retry-After computed from live
-// queue state. A client disconnect cancels its run at the next
+// words, and -cost-budget bounds their summed predicted cost under the
+// -cost-model hardware profile (optane|dram|reram|flash); excess load is
+// shed with 429 + a Retry-After computed from live queue state. Every
+// run answers with X-Sage-Cost-* headers (predicted vs. actual cost
+// under the model). A client disconnect cancels its run at the next
 // frontier/iteration boundary.
 //
 // Batch updates keep the stored file immutable: edge inserts/deletes live
@@ -28,6 +31,9 @@
 // in-flight runs finish on the version they started with. -delta-budget
 // bounds each overlay's DRAM words (batches beyond it answer 507 until a
 // {"compact": true} update folds the overlay into a rewritten file).
+// -auto-compact-cost triggers that fold automatically once the overlay's
+// predicted traversal overhead under the cost model crosses the given
+// threshold (with hysteresis, so a hovering dataset does not flap).
 //
 // Durability: with -wal (the default), every accepted batch is appended
 // to a per-dataset write-ahead log at <path>.wal — fsynced per
@@ -69,9 +75,12 @@ import (
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	modeName := flag.String("mode", "appdirect", "dram|appdirect|memorymode|nvramall")
-	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse")
+	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse|auto")
+	costModelName := flag.String("cost-model", "optane", "hardware cost profile: "+strings.Join(sage.CostModelNames(), "|"))
 	maxConcurrent := flag.Int("max-concurrent", 0, "max runs in flight (0 = GOMAXPROCS)")
 	dramBudget := flag.Int64("dram-budget", 0, "aggregate DRAM budget for concurrent runs, in simulated words (0 = unlimited)")
+	costBudget := flag.Int64("cost-budget", 0, "aggregate predicted-cost budget for concurrent runs, in model cost units (0 = unlimited)")
+	autoCompactCost := flag.Int64("auto-compact-cost", 0, "predicted overlay traversal overhead, in model cost units, at which a dataset auto-compacts (0 = disabled)")
 	datasetBudget := flag.Int64("dataset-budget", 0, "resident-dataset budget in simulated words; idle datasets beyond it are evicted (0 = unlimited)")
 	deltaBudget := flag.Int64("delta-budget", 0, "per-dataset update-overlay DRAM budget in simulated words; over-budget batches answer 507 (0 = unlimited)")
 	cacheEntries := flag.Int("cache-entries", 256, "result-cache capacity (negative disables)")
@@ -119,10 +128,16 @@ func main() {
 	}
 	strategies := map[string]sage.Strategy{
 		"chunked": sage.Chunked, "blocked": sage.Blocked, "sparse": sage.Sparse,
+		"auto": sage.Auto,
 	}
 	strategy, ok := strategies[*strategyName]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+	costModel, ok := sage.LookupCostModel(*costModelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cost model %q (have %s)\n", *costModelName, strings.Join(sage.CostModelNames(), ", "))
 		os.Exit(2)
 	}
 	walPolicy, err := wal.ParsePolicy(*walFsync)
@@ -132,9 +147,11 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Engine:             sage.NewEngine(sage.WithMode(mode), sage.WithStrategy(strategy)),
+		Engine:             sage.NewEngine(sage.WithMode(mode), sage.WithStrategy(strategy), sage.WithModel(costModel)),
 		MaxConcurrent:      *maxConcurrent,
 		DRAMBudgetWords:    *dramBudget,
+		CostBudget:         *costBudget,
+		AutoCompactCost:    *autoCompactCost,
 		DatasetBudgetWords: *datasetBudget,
 		DeltaBudgetWords:   *deltaBudget,
 		ResultCacheEntries: *cacheEntries,

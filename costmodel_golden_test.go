@@ -1,0 +1,188 @@
+package sage_test
+
+// Golden tests for the pluggable hardware cost model: each built-in
+// profile's predicted cost over the PSAM regression workloads is pinned,
+// and the deprecated WithCostModel option is pinned equivalent to
+// WithModel over the same profile constants. Any drift here is a pricing
+// change and must be deliberate.
+
+import (
+	"fmt"
+	"testing"
+
+	"sage"
+)
+
+// regressWorkloads runs the four reference workloads once each on the
+// fixed seed graph (R-MAT logN=11, avgDeg=8, seed=7) at one worker and
+// returns their per-workload counters. The counters are model-independent
+// — a profile only changes how they are priced — so one simulation run
+// feeds every profile's golden.
+func regressWorkloads(t *testing.T, opts ...sage.Option) map[string]sage.RunStats {
+	t.Helper()
+	old := sage.Workers()
+	defer sage.SetWorkers(old)
+	sage.SetWorkers(1)
+
+	g := sage.GenerateRMAT(11, 8, 7)
+	e := sage.NewEngine(append([]sage.Option{sage.WithStrategy(sage.Chunked), sage.WithSeed(7)}, opts...)...)
+	out := map[string]sage.RunStats{}
+	run := func(name string, fn func()) {
+		e.ResetStats()
+		fn()
+		out[name] = sage.RunStats(e.Stats())
+	}
+	run("bfs", func() { e.MustBFS(g, 0) })
+	run("pagerankiter", func() {
+		n := int(g.NumVertices())
+		prev := make([]float64, n)
+		next := make([]float64, n)
+		for i := range prev {
+			prev[i] = 1 / float64(n)
+		}
+		e.MustPageRankIter(g, prev, next)
+	})
+	run("connectivity", func() { e.MustConnectivity(g) })
+	run("kcore", func() { e.MustKCore(g) })
+	return out
+}
+
+// goldenModelCosts pins CostOfStats for every built-in profile on the
+// regression workloads. The optane row must match the PSAMCost goldens in
+// psam_regress_test.go (csr/chunked/*): the default profile re-prices
+// nothing.
+var goldenModelCosts = map[string]int64{
+	"optane/bfs":          14908,
+	"optane/pagerankiter": 27608,
+	"optane/connectivity": 49558,
+	"optane/kcore":        128478,
+	// dram matches optane on these workloads: with zero NVRAM writes and
+	// zero cache misses the two profiles price reads identically.
+	"dram/bfs":          14908,
+	"dram/pagerankiter": 27608,
+	"dram/connectivity": 49558,
+	"dram/kcore":        128478,
+	// reram doubles the large-memory read charge.
+	"reram/bfs":          24568,
+	"reram/pagerankiter": 40388,
+	"reram/connectivity": 74608,
+	"reram/kcore":        192717,
+	// flash bills scattered large-memory reads by the page.
+	"flash/bfs":          44160,
+	"flash/pagerankiter": 66028,
+	"flash/connectivity": 124860,
+	"flash/kcore":        322287,
+}
+
+func TestCostModelGoldenCosts(t *testing.T) {
+	stats := regressWorkloads(t)
+	for _, m := range sage.CostModels() {
+		model := m
+		e := sage.NewEngine(sage.WithModel(model))
+		for wl, s := range stats {
+			name := fmt.Sprintf("%s/%s", model.Name(), wl)
+			got := e.CostOfStats(s).Cost
+			want, ok := goldenModelCosts[name]
+			if !ok {
+				t.Errorf("missing golden %q: %d,", name, got)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: cost drifted: got %d want %d", name, got, want)
+			}
+		}
+	}
+}
+
+// goldenPredictions pins PredictCost — the pre-run estimate the server
+// sheds load on — per profile for one algorithm of each cost class on the
+// regression graph.
+var goldenPredictions = map[string]int64{
+	"optane/bfs":      37848,
+	"optane/pagerank": 241344,
+	"optane/tc":       123212,
+	"optane/ppr":      11836,
+	// The estimator charges no NVRAM writes, so dram predicts like optane.
+	"dram/bfs":       37848,
+	"dram/pagerank":  241344,
+	"dram/tc":        123212,
+	"dram/ppr":       11836,
+	"reram/bfs":      54724,
+	"reram/pagerank": 347680,
+	"reram/tc":       174332,
+	"reram/ppr":      14682,
+	"flash/bfs":      88556,
+	"flash/pagerank": 560992,
+	"flash/tc":       276892,
+	"flash/ppr":      21278,
+}
+
+func TestCostModelGoldenPredictions(t *testing.T) {
+	g := sage.GenerateRMAT(11, 8, 7)
+	for _, m := range sage.CostModels() {
+		model := m
+		e := sage.NewEngine(sage.WithModel(model))
+		for _, algo := range []string{"bfs", "pagerank", "tc", "ppr"} {
+			est, err := e.PredictCost(algo, g)
+			if err != nil {
+				t.Fatalf("PredictCost(%s): %v", algo, err)
+			}
+			name := fmt.Sprintf("%s/%s", model.Name(), algo)
+			want, ok := goldenPredictions[name]
+			if !ok {
+				t.Errorf("missing golden %q: %d,", name, est.Cost)
+				continue
+			}
+			if est.Cost != want {
+				t.Errorf("%s: prediction drifted: got %d want %d", name, est.Cost, want)
+			}
+			if est.Model != model.Name() {
+				t.Errorf("%s: estimate names model %q", name, est.Model)
+			}
+			if est.LatencyNS <= 0 || est.EnergyNJ <= 0 {
+				t.Errorf("%s: non-positive projections: latency=%v energy=%v", name, est.LatencyNS, est.EnergyNJ)
+			}
+		}
+	}
+}
+
+// TestWithCostModelEquivalence pins the deprecated WithCostModel option
+// to the WithModel path: explicit Optane constants must reproduce the
+// default profile's accounting exactly, and custom constants must price
+// the same counters on the custom scale.
+func TestWithCostModelEquivalence(t *testing.T) {
+	legacy := regressWorkloads(t, sage.WithCostModel(1, 12))
+	modern := regressWorkloads(t, sage.WithModel(sage.CostModelOptane()))
+	deflt := regressWorkloads(t)
+	for wl := range deflt {
+		if legacy[wl] != modern[wl] || modern[wl] != deflt[wl] {
+			t.Errorf("%s: WithCostModel(1,12)=%+v WithModel(optane)=%+v default=%+v diverge",
+				wl, legacy[wl], modern[wl], deflt[wl])
+		}
+	}
+
+	// Custom constants re-price, never re-count: the access counters stay
+	// identical and the cost obeys the (nvramRead, omega) charging rule.
+	custom := regressWorkloads(t, sage.WithCostModel(3, 4))
+	for wl, s := range deflt {
+		c := custom[wl]
+		if c.NVRAMReads != s.NVRAMReads || c.NVRAMWrites != s.NVRAMWrites ||
+			c.DRAMReads != s.DRAMReads || c.DRAMWrites != s.DRAMWrites {
+			t.Errorf("%s: WithCostModel(3,4) perturbed counters: got %+v want %+v", wl, c, s)
+		}
+		want := c.DRAMReads + c.DRAMWrites + 3*c.NVRAMReads + 3*4*c.NVRAMWrites + 3*c.CacheMisses
+		if c.PSAMCost != want {
+			t.Errorf("%s: WithCostModel(3,4) cost = %d, want %d", wl, c.PSAMCost, want)
+		}
+	}
+
+	// The custom engine reports itself as such.
+	cm := sage.NewEngine(sage.WithCostModel(3, 4)).Model()
+	if cm.Name() != "custom" {
+		t.Errorf("WithCostModel engine model = %q, want custom", cm.Name())
+	}
+	dm := sage.NewEngine().Model()
+	if dm.Name() != "optane" {
+		t.Errorf("default engine model = %q, want optane", dm.Name())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sage/internal/algos"
+	"sage/internal/costmodel"
 	"sage/internal/psam"
 	"sage/internal/traverse"
 )
@@ -44,6 +45,7 @@ type Engine struct {
 // config is the frozen engine configuration.
 type config struct {
 	mode       Mode
+	model      costmodel.Profile
 	psamCfg    psam.Config
 	strategy   Strategy
 	seed       uint64
@@ -70,10 +72,23 @@ func WithStrategy(s Strategy) Option {
 // multiplier ω. The default is the PSAM of §3 — reads unit cost, writes
 // NVRAMRead·ω = 12 DRAM accesses; pass (3, 4) to charge the raw Optane
 // device ratios instead for sensitivity studies.
+//
+// Deprecated: WithCostModel is the two-scalar ancestor of the profile
+// API and is kept as a wrapper over it — WithCostModel(r, ω) is exactly
+// WithModel of the Optane profile with those two fields overridden
+// (costmodel Custom). Use WithModel to select a full hardware profile.
 func WithCostModel(nvramRead, omega int64) Option {
+	return WithModel(costmodel.Custom(nvramRead, omega))
+}
+
+// WithModel selects the hardware cost profile (default the Optane PSAM
+// of §3, CostModelOptane). The profile sets the simulator's charging
+// weights, prices the Auto traversal strategy's direction choices, and
+// backs the engine's cost predictions (PredictCost, CostOfStats).
+func WithModel(m CostModel) Option {
 	return func(c *config) {
-		c.psamCfg.NVRAMRead = nvramRead
-		c.psamCfg.Omega = omega
+		c.model = m
+		c.psamCfg = m.PSAM()
 	}
 }
 
@@ -108,6 +123,7 @@ func WithEps(eps float64) Option {
 func NewEngine(options ...Option) *Engine {
 	c := config{
 		mode:     AppDirect,
+		model:    costmodel.Optane(),
 		psamCfg:  psam.DefaultConfig(),
 		strategy: Chunked,
 		seed:     1,
@@ -230,6 +246,7 @@ func (e *Engine) NewRun() *Run {
 	o.FB = e.cfg.fb
 	o.Eps = e.cfg.eps
 	o.Traverse.Strategy = e.cfg.strategy
+	o.Traverse.Model = &e.cfg.model
 	if p, ok := e.pools.Get().(*traverse.Pools); ok {
 		o.Traverse.Pools = p
 	} else {

@@ -3,6 +3,7 @@ package algos
 import (
 	"fmt"
 
+	"sage/internal/costmodel"
 	"sage/internal/graph"
 )
 
@@ -128,6 +129,12 @@ type Spec struct {
 	// k-truss's Θ(m)-word output) declare their own. Serving layers use
 	// the estimate for admission budgeting.
 	DRAMWords func(n, m uint64) int64
+	// CostClass buckets the algorithm's memory-traffic shape for pre-run
+	// cost prediction (costmodel.EstimateOps). The zero value — Traversal,
+	// one streamed pass over the edge set — fits most of the Figure 1
+	// suite; only the fixpoint, edge-state, and local problems declare
+	// otherwise.
+	CostClass costmodel.Class
 	// Run invokes the algorithm under o and returns its result.
 	Run func(g graph.Adj, o *Options, a Args) Result
 }
@@ -276,7 +283,8 @@ var registry = []Spec{
 	},
 	{
 		Name: "cc", Title: "Connectivity", Fig1: true,
-		Doc: "connected-component labels (LDD contraction, §4.3.2)",
+		Doc:       "connected-component labels (LDD contraction, §4.3.2)",
+		CostClass: costmodel.Iterative,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			labels := Connectivity(g, o)
 			return Result{labels, fmt.Sprintf("%d connected components", countDistinct(labels))}
@@ -328,7 +336,8 @@ var registry = []Spec{
 	},
 	{
 		Name: "coloring", Title: "Graph-Coloring", Fig1: true,
-		Doc: "(Delta+1)-coloring (§4.3.3)",
+		Doc:       "(Delta+1)-coloring (§4.3.3)",
+		CostClass: costmodel.Iterative,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			colors := Coloring(g, o)
 			maxC := uint32(0)
@@ -351,7 +360,8 @@ var registry = []Spec{
 	},
 	{
 		Name: "kcore", Title: "k-Core", Fig1: true,
-		Doc: "coreness of every vertex (Julienne peeling, §4.3.4)",
+		Doc:       "coreness of every vertex (Julienne peeling, §4.3.4)",
+		CostClass: costmodel.Iterative,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			core := KCore(g, o)
 			return Result{core, fmt.Sprintf("max coreness %d", MaxCore(core))}
@@ -359,7 +369,8 @@ var registry = []Spec{
 	},
 	{
 		Name: "densest", Title: "Apx-Dens-Subgraph", Fig1: true,
-		Doc: "2(1+eps)-approximate densest subgraph (§4.3.4)",
+		Doc:       "2(1+eps)-approximate densest subgraph (§4.3.4)",
+		CostClass: costmodel.Iterative,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			res := ApproxDensestSubgraph(g, o)
 			return Result{res, fmt.Sprintf("density %.3f in %d rounds", res.Density, res.Rounds)}
@@ -369,6 +380,7 @@ var registry = []Spec{
 		Name: "tc", Title: "Triangle-Count", Fig1: true,
 		Doc:       "triangle count with work counters (§4.3.5)",
 		DRAMWords: edgeStateDRAMWords,
+		CostClass: costmodel.EdgeState,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			res := TriangleCount(g, o)
 			return Result{res, fmt.Sprintf("%d triangles (intersection work %d, total work %d)",
@@ -391,8 +403,9 @@ var registry = []Spec{
 	},
 	{
 		Name: "pagerank", Title: "PageRank", Fig1: true,
-		Doc:  "PageRank to convergence (§4.3.5)",
-		Args: []ArgSpec{epsPRArg, maxItArg},
+		Doc:       "PageRank to convergence (§4.3.5)",
+		CostClass: costmodel.Iterative,
+		Args:      []ArgSpec{epsPRArg, maxItArg},
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			ranks, iters := PageRank(g, o, a.epsOr(1e-6), a.itersOr(100))
 			return Result{ranks, fmt.Sprintf("converged in %d iterations", iters)}
@@ -411,8 +424,9 @@ var registry = []Spec{
 	},
 	{
 		Name: "ppr", Title: "Personalized-PageRank",
-		Doc:  "personalized PageRank vector of src (§3.2)",
-		Args: []ArgSpec{srcArg, dampingArg, {Name: "eps", Kind: ArgFloat, Default: 1e-9, Doc: "L1 convergence threshold"}, maxItArg},
+		Doc:       "personalized PageRank vector of src (§3.2)",
+		CostClass: costmodel.Local,
+		Args:      []ArgSpec{srcArg, dampingArg, {Name: "eps", Kind: ArgFloat, Default: 1e-9, Doc: "L1 convergence threshold"}, maxItArg},
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			ranks, iters := PersonalizedPageRank(g, o, a.Src, a.dampingOr(0.85), a.epsOr(1e-9), a.itersOr(100))
 			return Result{ranks, fmt.Sprintf("personalized PageRank converged in %d iterations", iters)}
@@ -423,6 +437,7 @@ var registry = []Spec{
 		Doc:       "k-clique count over the degree-ordered DAG (§3.2)",
 		Args:      []ArgSpec{{Name: "k", Kind: ArgInt, Default: 4, Doc: "clique size (>= 3)"}},
 		DRAMWords: edgeStateDRAMWords,
+		CostClass: costmodel.EdgeState,
 		Validate: func(a Args) error {
 			if a.K != 0 && a.K < 3 {
 				return fmt.Errorf("kclique requires k >= 3 (got %d)", a.K)
@@ -445,6 +460,7 @@ var registry = []Spec{
 		// problem (§3.2): support counters and the trussness output are
 		// both edge-proportional.
 		DRAMWords: func(n, m uint64) int64 { return int64(3*m + 8*n) },
+		CostClass: costmodel.EdgeState,
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			res := KTruss(g, o)
 			maxT := uint32(0)
@@ -458,8 +474,9 @@ var registry = []Spec{
 	},
 	{
 		Name: "localcluster", Title: "Local-Cluster",
-		Doc:  "low-conductance community around src via PPR sweep cut (§3.2)",
-		Args: []ArgSpec{srcArg, dampingArg, {Name: "maxsize", Kind: ArgInt, Default: 0, Doc: "sweep-cut size cap (0 = unbounded)"}},
+		Doc:       "low-conductance community around src via PPR sweep cut (§3.2)",
+		CostClass: costmodel.Local,
+		Args:      []ArgSpec{srcArg, dampingArg, {Name: "maxsize", Kind: ArgInt, Default: 0, Doc: "sweep-cut size cap (0 = unbounded)"}},
 		Run: func(g graph.Adj, o *Options, a Args) Result {
 			res := LocalCluster(g, o, a.Src, a.dampingOr(0.85), a.MaxSize)
 			return Result{res, fmt.Sprintf("cluster of %d vertices at conductance %.3f",

@@ -1,0 +1,95 @@
+package costmodel
+
+// Class buckets the registry's algorithms by the shape of their memory
+// traffic, so a run's operation counts can be estimated from (n, m) alone
+// before it executes. The buckets follow the paper's Table 1 work bounds:
+// the constants are deliberately coarse — admission control needs the
+// right order of magnitude and the right profile sensitivity (scan-heavy
+// vs scatter-heavy, read-heavy vs write-heavy), not a per-algorithm fit.
+type Class int
+
+const (
+	// Traversal is the default: O(m) frontier algorithms that stream the
+	// edge set roughly once (BFS, spanners, MIS, matching, ...).
+	Traversal Class = iota
+	// Iterative covers fixpoint algorithms that stream the edge set a
+	// handful of times before converging or peeling out (PageRank,
+	// connectivity, k-core, coloring, densest subgraph).
+	Iterative
+	// EdgeState covers the intersection-heavy problems with
+	// edge-proportional state (triangle counting, k-clique, k-truss):
+	// scattered reads dominate and the output writes scale with m.
+	EdgeState
+	// Local covers the §3.2 local problems (PPR, local clustering) that
+	// touch a neighborhood, not the whole edge set.
+	Local
+)
+
+// String names the class for listings and headers.
+func (c Class) String() string {
+	switch c {
+	case Traversal:
+		return "traversal"
+	case Iterative:
+		return "iterative"
+	case EdgeState:
+		return "edge-state"
+	case Local:
+		return "local"
+	}
+	return "unknown"
+}
+
+// iterativePasses is the assumed number of edge-set passes before an
+// Iterative algorithm converges or peels out.
+const iterativePasses = 8
+
+// EstimateOps predicts the operation counts of one run of a class-cl
+// algorithm on an n-vertex, m-arc graph. Large-memory reads carry the
+// graph stream, small-memory traffic carries the frontier/state probes,
+// and writes stay vertex-proportional — the semi-asymmetric discipline
+// every registry algorithm observes, so no class predicts NVRAM writes.
+func EstimateOps(cl Class, n, m uint64) Counts {
+	nn, mm := int64(n), int64(m)
+	switch cl {
+	case Iterative:
+		return Counts{
+			NVRAMReads: iterativePasses*mm + 2*nn,
+			DRAMReads:  iterativePasses * mm,
+			DRAMWrites: 2 * iterativePasses * nn,
+		}
+	case EdgeState:
+		return Counts{
+			NVRAMReads: 4 * mm,
+			DRAMReads:  4 * mm,
+			DRAMWrites: mm + 4*nn,
+		}
+	case Local:
+		return Counts{
+			NVRAMReads: mm/16 + nn,
+			DRAMReads:  mm/16 + 2*nn,
+			DRAMWrites: 2 * nn,
+		}
+	default: // Traversal
+		return Counts{
+			NVRAMReads: mm + 2*nn,
+			DRAMReads:  mm,
+			DRAMWrites: 4 * nn,
+		}
+	}
+}
+
+// OverlayOverhead predicts the extra cost one full-edge traversal pays
+// because a dataset's updates still live in its delta overlay instead of
+// the compacted base container: every traversal re-reads the DRAM-resident
+// delta (deltaWords), merges the added arcs outside the zero-copy flat
+// path (arcsAdded extra small-memory reads), and still scans the deleted
+// arcs in the base before filtering them (arcsDeleted large-memory reads).
+// The server's auto-compaction hysteresis tracks this quantity per
+// dataset and fires when it crosses the configured band.
+func OverlayOverhead(p *Profile, deltaWords int64, arcsAdded, arcsDeleted uint64) int64 {
+	return p.Cost(Counts{
+		DRAMReads:  deltaWords + int64(arcsAdded),
+		NVRAMReads: int64(arcsDeleted),
+	})
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRetryAfterFromAdmissionState(t *testing.T) {
-	a := newAdmission(2, 0, 0)
+	a := newAdmission(2, 0, 0, 0)
 
 	// No history: assume second-scale runs, one client in the queue.
 	if got := a.retryAfterSeconds(); got != 1 {
@@ -47,7 +47,7 @@ func TestRetryAfterFromAdmissionState(t *testing.T) {
 }
 
 func TestObserveFeedsMetrics(t *testing.T) {
-	a := newAdmission(4, 0, 0)
+	a := newAdmission(4, 0, 0, 0)
 	a.observe(500 * time.Millisecond)
 	s := a.snapshot()
 	if s.EWMARunMS != 500 {

@@ -116,6 +116,10 @@ type datasetInfo struct {
 	DeltaWords       int64  `json:"delta_words,omitempty"`
 	DeltaArcsAdded   uint64 `json:"delta_arcs_added,omitempty"`
 	DeltaArcsDeleted uint64 `json:"delta_arcs_deleted,omitempty"`
+	// OverlayCostPredicted is the overlay's predicted traversal overhead
+	// under the serving engine's cost model — the quantity the
+	// auto-compaction hysteresis tracks.
+	OverlayCostPredicted int64 `json:"overlay_cost_predicted,omitempty"`
 	// ReadOnly reports the WAL-unavailable degraded state: reads keep
 	// serving, writes answer 503 until the log heals.
 	ReadOnly       bool   `json:"read_only,omitempty"`

@@ -42,6 +42,18 @@ type Config struct {
 	// DRAMBudgetWords caps the summed estimated DRAM residency of
 	// concurrent runs in simulated words (0: unlimited).
 	DRAMBudgetWords int64
+	// CostBudget caps the summed predicted cost of concurrent runs in the
+	// engine model's DRAM-access units (sage.Engine.PredictCost); the
+	// overflowing run is shed with 429 + Retry-After, gate "cost"
+	// (0: unlimited).
+	CostBudget int64
+	// AutoCompactCost enables cost-driven auto-compaction: when a batch
+	// leaves a dataset's predicted overlay traversal overhead (under the
+	// engine's cost model) at or above this many DRAM-access units, the
+	// overlay is folded into the base as if the client had requested
+	// compact. Hysteresis re-arms the trigger only after the overhead
+	// falls below half the threshold (0: disabled).
+	AutoCompactCost int64
 	// DatasetBudgetWords caps the summed SizeWords of resident datasets;
 	// idle ones beyond it are LRU-evicted (0: unlimited).
 	DatasetBudgetWords int64
@@ -115,13 +127,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		engine:  engine,
 		catalog: newCatalog(cfg.DatasetBudgetWords, cfg.CopyDatasets),
-		adm:     newAdmission(maxConc, cfg.DRAMBudgetWords, cfg.QueueWait),
+		adm:     newAdmission(maxConc, cfg.DRAMBudgetWords, cfg.CostBudget, cfg.QueueWait),
 		results: newResultCache(cacheEntries, cfg.ResultCacheBytes),
 		maxRun:  cfg.MaxRunDuration,
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
-	s.updates = newUpdates(s.catalog, cfg.DeltaBudgetWords, cfg.Durability)
+	s.updates = newUpdates(s.catalog, cfg.DeltaBudgetWords, cfg.Durability, engine.Model(), cfg.AutoCompactCost)
 	// Without a WAL there is nothing to replay, so the server is ready the
 	// moment it exists; with one, readiness waits for Recover.
 	s.ready.Store(!cfg.Durability.Enabled)
@@ -315,6 +327,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 			infos[i].Edges = v.snap.NumEdges()
 			infos[i].DeltaWords = v.snap.DeltaWords()
 			infos[i].DeltaArcsAdded, infos[i].DeltaArcsDeleted = v.snap.DeltaArcs()
+			infos[i].OverlayCostPredicted = s.updates.overlayCost(v.snap)
 			s.updates.unref(v)
 		}
 		infos[i].ReadOnly, infos[i].ReadOnlyReason = s.updates.walInfo(infos[i].Name)
@@ -418,6 +431,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Predict this run's cost before anything executes: the prediction
+	// gates admission, seeds Retry-After when there is no run history,
+	// and is reported on every response — cache hits included — so
+	// clients can see what the model thought the query would cost.
+	est, _ := s.engine.PredictCost(algoName, g) // algoName validated above
+	w.Header().Set("X-Sage-Cost-Model", est.Model)
+	w.Header().Set("X-Sage-Cost-Predicted", strconv.FormatInt(est.Cost, 10))
+
 	key := fmt.Sprintf("%s@%d/%s?%+v", dsName, gen, algoName, canon)
 	if body, slim, ok := s.results.get(key); ok {
 		w.Header().Set("X-Sage-Cache", "hit")
@@ -431,8 +452,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// The admission budget covers per-run state only: a snapshot's
 	// overlay is resident once regardless of how many runs share it, and
 	// is bounded separately by the delta budget.
-	words, _ := sage.EstimateDRAMWords(algoName, g) // algoName validated above
-	releaseSlot, gate, ok := s.adm.admit(r.Context(), words)
+	words, _ := sage.EstimateDRAMWords(algoName, g)
+	s.adm.seed(time.Duration(est.LatencyNS))
+	releaseSlot, gate, ok := s.adm.admit(r.Context(), words, est.Cost)
 	if !ok {
 		if r.Context().Err() != nil {
 			// Client gone while queued: no run started and nothing was
@@ -511,6 +533,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.runsOK.Add(1)
 	s.results.put(key, body, slim)
+	// The actual side of the cost contract: the run's measured counters
+	// priced under the same model that produced the prediction.
+	actual := s.engine.CostOfStats(res.Stats)
+	w.Header().Set("X-Sage-Cost-Actual", strconv.FormatInt(actual.Cost, 10))
+	w.Header().Set("X-Sage-Cost-Energy-NJ", strconv.FormatFloat(actual.EnergyNJ, 'f', 0, 64))
 	w.Header().Set("X-Sage-Cache", "miss")
 	if !includeValue {
 		body = slim
@@ -544,6 +571,7 @@ type updateResponse struct {
 	DeltaArcsAdded   uint64  `json:"delta_arcs_added"`
 	DeltaArcsDeleted uint64  `json:"delta_arcs_deleted"`
 	Compacted        bool    `json:"compacted,omitempty"`
+	AutoCompacted    bool    `json:"auto_compacted,omitempty"`
 	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
@@ -588,6 +616,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		DeltaArcsAdded:   res.arcsAdded,
 		DeltaArcsDeleted: res.arcsDeleted,
 		Compacted:        res.compacted,
+		AutoCompacted:    res.autoCompacted,
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
 	})
 }

@@ -21,6 +21,16 @@ package server
 // small-memory account the overlay lives in. A batch that would exceed it
 // is rejected with 507 Insufficient Storage until a compaction folds the
 // delta into the base.
+//
+// Auto-compaction closes the loop with the cost model: every batch
+// re-prices the dataset's overlay traversal overhead — the predicted
+// extra cost a full-edge run pays because updates still live in the
+// overlay (costmodel.OverlayOverhead under the engine's profile) — and
+// when it crosses the configured threshold the overlay is folded into
+// the base exactly as an explicit compact request would. The trigger is
+// a hysteresis band (fire at the threshold, re-arm only after the
+// overhead falls below half of it), so a dataset hovering near the
+// threshold compacts once, not on every batch.
 
 import (
 	"fmt"
@@ -28,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"sage"
+	"sage/internal/costmodel"
 	"sage/internal/store"
 	"sage/internal/wal"
 )
@@ -52,22 +63,31 @@ type updates struct {
 	budget  int64      // max overlay DRAM words per dataset; 0 = unlimited
 	wcfg    Durability // write-ahead log configuration (see durability.go)
 
+	// model prices overlay traversal overhead; autoHigh/autoLow bound the
+	// auto-compaction hysteresis band (autoHigh 0 disables it).
+	model    costmodel.Profile
+	autoHigh int64
+	autoLow  int64
+
 	mu        sync.Mutex
 	versions  map[string]*snapVersion
 	locks     map[string]*sync.Mutex // per-dataset update serialization
 	walStates map[string]*walState   // per-dataset durability state
+	armed     map[string]bool        // auto-compaction hysteresis state
 
-	batches          atomic.Int64
-	opsApplied       atomic.Int64
-	compactions      atomic.Int64
-	rejectedDelta    atomic.Int64
-	walAppends       atomic.Int64
-	walReplayed      atomic.Int64
-	walDiscarded     atomic.Int64
-	readOnlyRejected atomic.Int64
+	batches           atomic.Int64
+	opsApplied        atomic.Int64
+	compactions       atomic.Int64
+	autoCompactions   atomic.Int64
+	autoCompactErrors atomic.Int64
+	rejectedDelta     atomic.Int64
+	walAppends        atomic.Int64
+	walReplayed       atomic.Int64
+	walDiscarded      atomic.Int64
+	readOnlyRejected  atomic.Int64
 }
 
-func newUpdates(c *catalog, budgetWords int64, wcfg Durability) *updates {
+func newUpdates(c *catalog, budgetWords int64, wcfg Durability, model costmodel.Profile, autoCompactCost int64) *updates {
 	if wcfg.FS == nil {
 		wcfg.FS = wal.OS
 	}
@@ -75,10 +95,20 @@ func newUpdates(c *catalog, budgetWords int64, wcfg Durability) *updates {
 		catalog:   c,
 		budget:    budgetWords,
 		wcfg:      wcfg,
+		model:     model,
+		autoHigh:  autoCompactCost,
+		autoLow:   autoCompactCost / 2,
 		versions:  map[string]*snapVersion{},
 		locks:     map[string]*sync.Mutex{},
 		walStates: map[string]*walState{},
+		armed:     map[string]bool{},
 	}
+}
+
+// overlayCost prices snap's overlay traversal overhead under the model.
+func (u *updates) overlayCost(snap *sage.Snapshot) int64 {
+	added, deleted := snap.DeltaArcs()
+	return costmodel.OverlayOverhead(&u.model, snap.DeltaWords(), added, deleted)
 }
 
 // pin returns the dataset's current snapshot version, refcounted, or nil
@@ -116,26 +146,41 @@ func (u *updates) lockDataset(name string) *sync.Mutex {
 	return l
 }
 
-// deltaWordsTotal sums the live overlays' DRAM words, for /metrics.
-func (u *updates) deltaWordsTotal() (datasets int, words int64) {
+// deltaStats gathers the per-dataset overlay footprints and their
+// predicted traversal overheads, for /metrics: the aggregate counters
+// alone cannot tell which dataset's overlay is the expensive one.
+func (u *updates) deltaStats() (perDataset map[string]datasetDeltaStats, words int64) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
-	for _, v := range u.versions {
-		datasets++
+	if len(u.versions) == 0 {
+		return nil, 0
+	}
+	perDataset = make(map[string]datasetDeltaStats, len(u.versions))
+	for name, v := range u.versions {
+		added, deleted := v.snap.DeltaArcs()
+		armed, seen := u.armed[name]
+		perDataset[name] = datasetDeltaStats{
+			DeltaWords:           v.snap.DeltaWords(),
+			DeltaArcsAdded:       added,
+			DeltaArcsDeleted:     deleted,
+			OverlayCostPredicted: costmodel.OverlayOverhead(&u.model, v.snap.DeltaWords(), added, deleted),
+			AutoCompactArmed:     armed || !seen,
+		}
 		words += v.snap.DeltaWords()
 	}
-	return datasets, words
+	return perDataset, words
 }
 
 // updateResult is what apply reports back to the handler.
 type updateResult struct {
-	generation  uint64
-	vertices    uint32
-	edges       uint64
-	deltaWords  int64
-	arcsAdded   uint64
-	arcsDeleted uint64
-	compacted   bool
+	generation    uint64
+	vertices      uint32
+	edges         uint64
+	deltaWords    int64
+	arcsAdded     uint64
+	arcsDeleted   uint64
+	compacted     bool
+	autoCompacted bool // the cost-model hysteresis, not the client, asked
 }
 
 // apply folds ops into name's current snapshot (creating the identity
@@ -260,8 +305,59 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 		res.compacted = true
 		res.deltaWords = 0
 		res.arcsAdded, res.arcsDeleted = 0, 0
+	} else if u.autoHigh > 0 && res.deltaWords > 0 {
+		u.maybeAutoCompact(name, path, ws, next, res)
 	}
 	return res, nil
+}
+
+// maybeAutoCompact re-prices the just-published overlay's traversal
+// overhead and folds it into the base when the hysteresis band says so.
+// Caller holds the dataset update lock and has published next (so a
+// compaction failure leaves exactly the state an explicit compact
+// failure would: a durable, consistent overlay). The batch itself never
+// fails on the auto path — its overlay is already live.
+func (u *updates) maybeAutoCompact(name, path string, ws *walState, next *sage.Snapshot, res *updateResult) {
+	if !u.shouldAutoCompact(name, u.overlayCost(next)) {
+		return
+	}
+	if err := u.compactLocked(name, path, ws, next, res); err != nil {
+		// Stay disarmed: a failing compaction is retried at the next
+		// crossing of the band, not on every batch.
+		u.autoCompactErrors.Add(1)
+		return
+	}
+	u.autoCompactions.Add(1)
+	res.compacted = true
+	res.autoCompacted = true
+	res.deltaWords = 0
+	res.arcsAdded, res.arcsDeleted = 0, 0
+}
+
+// shouldAutoCompact is the hysteresis decision: fire only when armed and
+// the overhead reaches the high-water mark, then stay disarmed until the
+// overhead falls below the low-water mark (half the threshold). Repeated
+// batches hovering at the threshold therefore trigger exactly one
+// compaction — the folded overlay restarts near zero, re-arming the
+// trigger naturally — and a failed compaction is not retried per batch.
+func (u *updates) shouldAutoCompact(name string, overhead int64) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	armed, seen := u.armed[name]
+	if !seen {
+		armed = true
+	}
+	switch {
+	case overhead < u.autoLow:
+		u.armed[name] = true
+		return false
+	case armed && overhead >= u.autoHigh:
+		u.armed[name] = false
+		return true
+	default:
+		u.armed[name] = armed
+		return false
+	}
 }
 
 // compactLocked folds next's merged view into a rewritten container
@@ -297,6 +393,10 @@ func (u *updates) retire(name string) {
 	u.mu.Lock()
 	old := u.versions[name]
 	delete(u.versions, name)
+	// No overlay left means its traversal overhead is genuinely zero, so
+	// the auto-compaction trigger re-arms (a *failed* compaction leaves
+	// the overlay — and the disarmed state — in place).
+	u.armed[name] = true
 	u.mu.Unlock()
 	if old != nil {
 		u.unref(old)
@@ -337,27 +437,50 @@ func (u *updates) close() error {
 
 // snapshot reports the update counters for /metrics.
 func (u *updates) snapshot() updateStats {
-	datasets, words := u.deltaWordsTotal()
+	perDataset, words := u.deltaStats()
 	return updateStats{
 		DeltaBudgetWords:    u.budget,
-		DatasetsWithDelta:   datasets,
+		CostModel:           u.model.ModelName,
+		AutoCompactCost:     u.autoHigh,
+		AutoCompactLow:      u.autoLow,
+		DatasetsWithDelta:   len(perDataset),
 		DeltaWords:          words,
 		Batches:             u.batches.Load(),
 		OpsApplied:          u.opsApplied.Load(),
 		Compactions:         u.compactions.Load(),
+		AutoCompactions:     u.autoCompactions.Load(),
+		AutoCompactErrors:   u.autoCompactErrors.Load(),
 		RejectedDeltaBudget: u.rejectedDelta.Load(),
+		PerDataset:          perDataset,
 	}
 }
 
 // updateStats is the /metrics view of the update layer.
 type updateStats struct {
-	DeltaBudgetWords    int64 `json:"delta_budget_words"`
-	DatasetsWithDelta   int   `json:"datasets_with_delta"`
-	DeltaWords          int64 `json:"delta_words"`
-	Batches             int64 `json:"batches"`
-	OpsApplied          int64 `json:"ops_applied"`
-	Compactions         int64 `json:"compactions"`
-	RejectedDeltaBudget int64 `json:"rejected_delta_budget"`
+	DeltaBudgetWords    int64                        `json:"delta_budget_words"`
+	CostModel           string                       `json:"cost_model"`
+	AutoCompactCost     int64                        `json:"auto_compact_cost"`
+	AutoCompactLow      int64                        `json:"auto_compact_low,omitempty"`
+	DatasetsWithDelta   int                          `json:"datasets_with_delta"`
+	DeltaWords          int64                        `json:"delta_words"`
+	Batches             int64                        `json:"batches"`
+	OpsApplied          int64                        `json:"ops_applied"`
+	Compactions         int64                        `json:"compactions"`
+	AutoCompactions     int64                        `json:"auto_compactions"`
+	AutoCompactErrors   int64                        `json:"auto_compact_errors,omitempty"`
+	RejectedDeltaBudget int64                        `json:"rejected_delta_budget"`
+	PerDataset          map[string]datasetDeltaStats `json:"per_dataset,omitempty"`
+}
+
+// datasetDeltaStats is one dataset's overlay footprint in /metrics: the
+// raw delta words and arcs alongside the model-priced traversal overhead
+// that auto-compaction acts on.
+type datasetDeltaStats struct {
+	DeltaWords           int64  `json:"delta_words"`
+	DeltaArcsAdded       uint64 `json:"delta_arcs_added"`
+	DeltaArcsDeleted     uint64 `json:"delta_arcs_deleted"`
+	OverlayCostPredicted int64  `json:"overlay_cost_predicted"`
+	AutoCompactArmed     bool   `json:"auto_compact_armed"`
 }
 
 // pinForRun resolves what a run on name should execute against: the

@@ -20,6 +20,7 @@
 package traverse
 
 import (
+	"sage/internal/costmodel"
 	"sage/internal/frontier"
 	"sage/internal/graph"
 	"sage/internal/parallel"
@@ -53,6 +54,11 @@ const (
 	// Sparse is Ligra's original push traversal: O(Σ deg) memory and
 	// sentinel-filtered output.
 	Sparse
+	// Auto selects the direction and the push implementation per EdgeMap
+	// call from the cost model's predicted costs (Options.Model) instead
+	// of the measured-count Ligra heuristic. Without a model it behaves
+	// like Chunked.
+	Auto
 )
 
 // String names the strategy as in Appendix D.2's Table 5.
@@ -64,6 +70,8 @@ func (s Strategy) String() string {
 		return "edgeMapBlocked"
 	case Sparse:
 		return "edgeMapSparse"
+	case Auto:
+		return "edgeMapAuto"
 	}
 	return "unknown"
 }
@@ -91,6 +99,11 @@ type Options struct {
 	// lists). Nil selects a shared fallback, which is only safe when
 	// top-level traversals are not issued concurrently.
 	Pools *Pools
+	// Model is the hardware cost profile consulted by the Auto strategy
+	// to price traversal directions and push implementations before each
+	// EdgeMap call. Ignored by the fixed strategies, so setting it never
+	// perturbs their traversal order or PSAM counts.
+	Model *costmodel.Profile
 }
 
 // EdgeMap applies ops over the edges out of vs and returns the subset of
@@ -106,8 +119,14 @@ func EdgeMap(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt
 		opt.DenseThresholdDen = 20
 	}
 	outDeg := frontierDegree(g, env, vs)
-	threshold := int64(g.NumEdges()) / int64(opt.DenseThresholdDen)
-	dense := opt.ForceDense || (!opt.ForceSparse && outDeg+int64(vs.Size()) > threshold)
+	var dense bool
+	if opt.Strategy == Auto && opt.Model != nil {
+		dense = opt.ForceDense || (!opt.ForceSparse &&
+			predictDense(opt.Model, int64(n), int64(g.NumEdges()), int64(vs.Size()), outDeg, int64(opt.DenseThresholdDen)))
+	} else {
+		threshold := int64(g.NumEdges()) / int64(opt.DenseThresholdDen)
+		dense = opt.ForceDense || (!opt.ForceSparse && outDeg+int64(vs.Size()) > threshold)
+	}
 	if dense {
 		return edgeMapDense(g, env, vs, ops, opt)
 	}
@@ -116,9 +135,45 @@ func EdgeMap(g graph.Adj, env *psam.Env, vs *frontier.VertexSubset, ops Ops, opt
 		return edgeMapBlocked(g, env, vs, ops, opt, outDeg)
 	case Sparse:
 		return edgeMapSparse(g, env, vs, ops, opt, outDeg)
+	case Auto:
+		if opt.Model != nil && predictBlocked(outDeg, int64(n)) {
+			return edgeMapBlocked(g, env, vs, ops, opt, outDeg)
+		}
+		return EdgeMapChunked(g, env, vs, ops, opt)
 	default:
 		return EdgeMapChunked(g, env, vs, ops, opt)
 	}
+}
+
+// predictDense prices both traversal directions under the cost model and
+// returns true when the pull-based scan is predicted cheaper — direction
+// optimization driven by predicted rather than measured cost. The push
+// side issues one scattered neighbor-list fetch per frontier vertex, a
+// streamed read of the frontier's out-edges, and two small-memory
+// operations per edge. The pull side streams the scan positions the
+// early exit is expected to leave standing — the break-even fraction
+// m/den of Ligra's measured heuristic — plus one degree probe per
+// vertex. On word-granular profiles the comparison lands near the
+// classic |U| + Σdeg > m/den rule; on page-granular profiles the
+// scattered fetches bill whole pages and the dense direction wins much
+// earlier, which is the point.
+//
+//sage:hotpath
+func predictDense(p *costmodel.Profile, n, m, frontier, outDeg, den int64) bool {
+	sparse := p.RandReadCost(frontier) + p.SeqReadCost(outDeg) + 2*outDeg
+	dense := p.SeqReadCost(m/den+n) + n
+	return dense < sparse
+}
+
+// predictBlocked returns true when Blocked's O(Σ deg) intermediate
+// buffering is predicted cheaper than Chunked's O(n) chunk table. The
+// intermediate memory is small-memory in every profile — unit-charged —
+// so the comparison reduces to the two allocation sizes, with Blocked's
+// per-edge writes counted double (write + filter read).
+//
+//sage:hotpath
+func predictBlocked(outDeg, n int64) bool {
+	return 2*outDeg < n
 }
 
 // frontierDegree computes Σ_{u∈U} deg(u), charging the offset reads.

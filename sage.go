@@ -84,6 +84,10 @@ const (
 	Blocked = traverse.Blocked
 	// Sparse is Ligra's original push traversal.
 	Sparse = traverse.Sparse
+	// Auto selects direction and push implementation per traversal from
+	// the engine's cost model's predictions instead of the measured-count
+	// heuristic.
+	Auto = traverse.Auto
 )
 
 // Graph is an immutable graph handle: an uncompressed CSR or a
