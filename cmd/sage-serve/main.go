@@ -41,8 +41,11 @@
 // file at startup, so updates survive a crash or kill. When the log is
 // unwritable (disk full, I/O errors) the dataset degrades to read-only:
 // reads keep serving, writes answer 503 {"reason": "read_only"}, and the
-// dataset heals automatically when the disk does. A compaction folds the
-// logged batches into the rewritten container and retires the segment.
+// dataset heals automatically when the disk does. Concurrent batches to
+// one dataset share fsyncs through a group-commit window, and
+// -wal-segment-bytes rotates a growing log into a numbered segment chain
+// replayed in order at startup. A compaction folds the logged batches
+// into the rewritten container and retires the whole chain.
 // See docs/HTTP_API.md for the full endpoint reference.
 //
 // Usage:
@@ -92,6 +95,7 @@ func main() {
 	walEnabled := flag.Bool("wal", true, "write-ahead log update batches to <dataset>.wal and replay them at startup")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always|interval|never")
 	walInterval := flag.Duration("wal-interval", 100*time.Millisecond, "background flush period under -wal-fsync interval")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "rotate the active WAL segment once it reaches this many bytes (0 = never)")
 	drainGrace := flag.Duration("drain-grace", 0, "delay between /readyz reporting draining and connection shutdown, for load balancers to catch up")
 
 	type namedPath struct{ name, path string }
@@ -160,9 +164,10 @@ func main() {
 		MaxRunDuration:     *maxRun,
 		CopyDatasets:       *copyDatasets,
 		Durability: server.Durability{
-			Enabled:  *walEnabled,
-			Policy:   walPolicy,
-			Interval: *walInterval,
+			Enabled:      *walEnabled,
+			Policy:       walPolicy,
+			Interval:     *walInterval,
+			SegmentBytes: *walSegmentBytes,
 		},
 	})
 	names := make([]string, 0, len(datasets))

@@ -31,6 +31,7 @@ package delta
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"sage/internal/graph"
@@ -70,6 +71,17 @@ func (d *vdelta) words() int64 {
 
 // empty reports whether the delta no longer changes the vertex.
 func (d *vdelta) empty() bool { return len(d.adds) == 0 && len(d.dels) == 0 }
+
+// equal reports whether d changes the vertex exactly as other does; a
+// nil other stands for "no delta", equal to any empty d.
+func (d *vdelta) equal(other *vdelta) bool {
+	if other == nil {
+		return d.empty()
+	}
+	return slices.Equal(d.adds, other.adds) &&
+		slices.Equal(d.dels, other.dels) &&
+		slices.Equal(d.addW, other.addW)
+}
 
 // clone deep-copies the delta so Apply can mutate it privately. addW's
 // non-nilness is the weighted-base discriminator, so an empty weight
@@ -297,14 +309,25 @@ func (o *Overlay) Apply(ops []Op) (*Overlay, error) {
 			nv.m = uint64(int64(nv.m) + int64(delta))
 		}
 	}
-	// Settle accounting and drop deltas the batch cancelled out.
+	// Settle accounting and drop deltas the batch cancelled out. Track
+	// whether any touched vertex actually changed: a batch of pure
+	// no-ops (re-inserting present edges, deleting absent ones) returns
+	// the receiver itself, so callers can detect "nothing changed" by
+	// pointer equality and skip republishing.
+	changed := false
 	for v := range cloned {
 		d := nv.verts[v]
+		if !d.equal(o.verts[v]) {
+			changed = true
+		}
 		if d.empty() {
 			delete(nv.verts, v)
 			continue
 		}
 		nv.words += d.words()
+	}
+	if !changed {
+		return o, nil
 	}
 	nv.arcsAdd, nv.arcsDel = 0, 0
 	for _, d := range nv.verts {

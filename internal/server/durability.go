@@ -3,16 +3,27 @@ package server
 // The durable half of the update path. Without it, every delta overlay
 // is DRAM-only: a crash loses all batches applied since the last
 // compaction, and a restarted server silently serves the stale base. With
-// durability enabled, each dataset gets a write-ahead segment at
-// <path>.wal (internal/wal): an accepted batch is appended — and, under
-// the "always" fsync policy, on disk — before its overlay becomes
-// visible, so the served state is always reconstructible from (container
-// generation, surviving log records). Recovery replays those records onto
-// the stored base; compaction folds them into a new container generation
-// and retires the segment.
+// durability enabled, each dataset gets a write-ahead log at <path>.wal
+// (internal/wal): an accepted batch is appended — and, under the "always"
+// fsync policy, on disk — before its overlay becomes visible, so the
+// served state is always reconstructible from (container generation,
+// surviving log records). Recovery replays those records onto the stored
+// base; compaction folds them into a new container generation and retires
+// the log.
 //
-// Degradation is graceful and self-healing: when the segment cannot be
-// appended to (disk full, fsync failure, a segment that failed to open),
+// Writes to one dataset do not serialize on the fsync: a batch is staged
+// into the log under the dataset lock (wal.Log.AppendBuffer), then the
+// lock is released while the group-commit barrier (wal.Log.Commit) runs —
+// one leader fsync acknowledges every batch buffered in the window. The
+// next writer chains onto the staged tip (see stagedBatch in updates.go),
+// so N concurrent writers pay ~1 fsync per window instead of N.
+//
+// Under a segment cap (Durability.SegmentBytes) the log rotates into a
+// fingerprint-linked chain of sealed segments (<path>.wal.1, .wal.2, …);
+// recovery replays the whole chain in order and compaction retires it.
+//
+// Degradation is graceful and self-healing: when the log cannot be
+// appended to (disk full, fsync failure, a log that failed to open),
 // the dataset drops to read-only — writes answer 503 with a
 // machine-readable reason while reads keep serving — and the next write
 // attempt probes the log again, so the dataset recovers the moment the
@@ -28,7 +39,7 @@ import (
 )
 
 // WALSuffix is appended to a dataset's stored path to name its
-// write-ahead segment.
+// write-ahead log's active segment.
 const WALSuffix = ".wal"
 
 // Durability configures the write-ahead log guarding update batches.
@@ -41,6 +52,10 @@ type Durability struct {
 	Policy wal.SyncPolicy
 	// Interval is the background flush period under wal.SyncInterval.
 	Interval time.Duration
+	// SegmentBytes caps the active segment: when an append would push it
+	// past the cap, the segment is sealed into the numbered chain and a
+	// fresh one started. 0 means a single unbounded segment.
+	SegmentBytes int64
 	// FS substitutes the filesystem the segments live on; nil means the
 	// real one. Tests inject wal.FaultFS here to simulate crashes, short
 	// writes, and fsync failures.
@@ -51,15 +66,34 @@ type Durability struct {
 // unwritable (503 with reason "read_only").
 var errReadOnly = errors.New("dataset is read-only: write-ahead log unavailable")
 
-// walState is one dataset's durability state. The log pointer is guarded
-// by the dataset's update lock (it is only touched on the serialized
-// write path); readOnly/reason/replayed are guarded by updates.mu so
-// listings and metrics can read them without blocking writers.
+// walState is one dataset's durability state. All fields are guarded by
+// updates.mu: the log pointer is read by metrics and by committers that
+// have already released the dataset lock, and close() swaps it to nil
+// without holding any dataset lock. The wal.Log itself is internally
+// synchronized, so holders of a snapshotted pointer stay safe across a
+// concurrent swap.
 type walState struct {
-	log      *wal.Log // nil when the segment could not be opened
+	log      *wal.Log // nil when the log could not be opened
 	readOnly bool
 	reason   string // degradation cause, "" when healthy
-	replayed int    // batches recovered when the segment was opened
+	replayed int    // batches recovered when the log was opened
+}
+
+// logOf snapshots ws's log pointer under updates.mu.
+func (u *updates) logOf(ws *walState) *wal.Log {
+	if ws == nil {
+		return nil
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return ws.log
+}
+
+// setLog swaps ws's log pointer under updates.mu.
+func (u *updates) setLog(ws *walState, log *wal.Log) {
+	u.mu.Lock()
+	ws.log = log
+	u.mu.Unlock()
 }
 
 // setWALHealth records the outcome of the latest log operation: a nil
@@ -86,21 +120,40 @@ func (u *updates) walInfo(name string) (readOnly bool, reason string) {
 	return false, ""
 }
 
-// recoverLocked opens name's WAL segment and replays surviving records
-// onto the stored base, installing the recovered snapshot as the current
-// version. It runs once per dataset — the walStates entry memoizes the
-// outcome, including failure (the dataset is then read-only until a
-// retried recovery succeeds). The caller holds the dataset update lock.
+// recoverLocked opens name's WAL and replays surviving records onto the
+// stored base, installing the recovered snapshot as the current version.
+// It runs once per dataset — the walStates entry memoizes the outcome,
+// including failure (the dataset is then read-only until a retried
+// recovery succeeds). The caller holds the dataset update lock.
 func (u *updates) recoverLocked(name, path string) *walState {
 	u.mu.Lock()
 	ws, ok := u.walStates[name]
+	closed := u.closed
 	u.mu.Unlock()
 	if ok {
 		return ws
 	}
 	ws = &walState{}
+	if closed {
+		// Shutdown already closed every log; opening a fresh one now
+		// would orphan it. Report the dataset unwritable and do not
+		// register the state, so nothing survives past close().
+		ws.readOnly, ws.reason = true, errShuttingDown.Error()
+		return ws
+	}
 	defer func() {
 		u.mu.Lock()
+		if u.closed {
+			// close() ran while we were opening: hand the log straight
+			// back instead of registering it.
+			log := ws.log
+			ws.log = nil
+			u.mu.Unlock()
+			if log != nil {
+				_ = log.Close()
+			}
+			return
+		}
 		u.walStates[name] = ws
 		u.mu.Unlock()
 	}()
@@ -109,7 +162,7 @@ func (u *updates) recoverLocked(name, path string) *walState {
 }
 
 // openSegment fingerprints the container, opens (or creates) its WAL
-// segment, and replays surviving records. On any failure the dataset is
+// chain, and replays surviving records. On any failure the dataset is
 // left read-only with the cause as the machine-readable reason; reads
 // keep serving the base. Caller holds the dataset update lock.
 func (u *updates) openSegment(ws *walState, name, path string) {
@@ -120,12 +173,13 @@ func (u *updates) openSegment(ws *walState, name, path string) {
 	}
 	log, rec, err := wal.Open(path+WALSuffix, fp, wal.Options{
 		FS: u.wcfg.FS, Policy: u.wcfg.Policy, Interval: u.wcfg.Interval,
+		SegmentBytes: u.wcfg.SegmentBytes,
 	})
 	if err != nil {
 		u.setWALHealth(ws, err)
 		return
 	}
-	ws.log = log
+	u.setLog(ws, log)
 	u.setWALHealth(ws, nil)
 	if rec.Discarded {
 		u.walDiscarded.Add(1)
@@ -146,12 +200,12 @@ func (u *updates) openSegment(ws *walState, name, path string) {
 	h, err := u.catalog.acquire(name)
 	if err != nil {
 		_ = log.Close() // abandoning the log; the open error is the story
-		ws.log = nil
+		u.setLog(ws, nil)
 		u.setWALHealth(ws, fmt.Errorf("opening base for replay: %w", err))
 		return
 	}
 	snap := sage.GraphFromDataset(h.Dataset()).Snapshot()
-	good := wal.HeaderSize()
+	var good wal.Batch // zero value: truncate the whole chain away
 	replayed := 0
 	for _, b := range rec.Batches {
 		next, err := snap.ApplyBatch(edgeOps(b.Ops))
@@ -166,7 +220,7 @@ func (u *updates) openSegment(ws *walState, name, path string) {
 			break
 		}
 		snap = next
-		good = b.EndOff
+		good = b
 		replayed++
 	}
 	u.walReplayed.Add(int64(replayed))
@@ -209,21 +263,52 @@ func (u *updates) ensureRecovered(name string) {
 	u.recoverLocked(name, path)
 }
 
-// walAppend makes one batch durable per the configured policy, before
-// the overlay becomes visible. A failure degrades the dataset to
-// read-only and rejects the write; the log itself cleans any torn record
-// off its tail, so the next attempt probes a healthy disk successfully
-// and the dataset recovers without intervention. Caller holds the
+// walStage buffers one batch into the dataset's log, chained after the
+// in-flight group-commit window (after is the staged tip's ticket, nil
+// when the window is empty). The record has a sequence number but is not
+// durable yet — walCommit drives the barrier. A wal.ErrStaleChain return
+// means the window this batch extended rolled back with its failed group
+// fsync; the caller rebases onto the published state and restages. Any
+// other failure degrades the dataset to read-only. Caller holds the
 // dataset update lock.
-//
-//sage:durable-append
-func (u *updates) walAppend(ws *walState, name string, ops []sage.EdgeOp) error {
-	if ws.log == nil {
+func (u *updates) walStage(ws *walState, name string, log *wal.Log, ops []sage.EdgeOp, after *wal.Pending) (*wal.Pending, error) {
+	if log == nil {
 		u.readOnlyRejected.Add(1)
 		_, reason := u.walInfo(name)
-		return fmt.Errorf("%w (dataset %q): %s", errReadOnly, name, reason)
+		return nil, fmt.Errorf("%w (dataset %q): %s", errReadOnly, name, reason)
 	}
-	if _, err := ws.log.Append(walOps(ops)); err != nil {
+	p, err := log.AppendBuffer(walOps(ops), after)
+	if err != nil {
+		if errors.Is(err, wal.ErrStaleChain) {
+			return nil, err // internal signal: rebase and restage
+		}
+		u.setWALHealth(ws, err)
+		u.readOnlyRejected.Add(1)
+		return nil, fmt.Errorf("%w (dataset %q): %v", errReadOnly, name, err)
+	}
+	return p, nil
+}
+
+// walCommit waits out the group-commit barrier for a staged batch: it
+// returns once a leader fsync (ours or a concurrent committer's) has made
+// the batch durable per the configured policy, before the overlay becomes
+// visible. A failure degrades the dataset to read-only and rejects the
+// write — the log rolled the whole window back, so the next attempt
+// probes a clean tail and the dataset recovers without intervention. The
+// caller does NOT need the dataset update lock: that is the point.
+//
+//sage:durable-append
+func (u *updates) walCommit(ws *walState, name string, log *wal.Log, p *wal.Pending) error {
+	if err := log.Commit(p); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			// The log died (or shutdown closed it). Drop the pointer so
+			// the next write retries recovery from scratch.
+			u.mu.Lock()
+			if ws.log == log {
+				ws.log = nil
+			}
+			u.mu.Unlock()
+		}
 		u.setWALHealth(ws, err)
 		u.readOnlyRejected.Add(1)
 		return fmt.Errorf("%w (dataset %q): %v", errReadOnly, name, err)
@@ -233,40 +318,52 @@ func (u *updates) walAppend(ws *walState, name string, ops []sage.EdgeOp) error 
 	return nil
 }
 
-// retireSegment retires name's WAL after a compaction durably replaced
-// the container: the folded records must never replay onto the new
-// generation. Even if the process dies before the removal lands, the
-// stale segment's base fingerprint no longer matches the rewritten
+// retireSegment retires name's WAL chain after a compaction durably
+// replaced the container: the folded records must never replay onto the
+// new generation. Even if the process dies before the removal lands, the
+// stale chain's base fingerprint no longer matches the rewritten
 // container, so recovery discards it — removal is cleanup, not
-// correctness. A fresh segment is then opened for the new generation.
+// correctness. A fresh log is then opened for the new generation.
 // Caller holds the dataset update lock.
 func (u *updates) retireSegment(ws *walState, name, path string) {
 	if ws == nil {
 		return
 	}
-	if ws.log != nil {
-		// A failed remove leaves a stale segment that can never replay
+	if log := u.logOf(ws); log != nil {
+		// A failed remove leaves a stale chain that can never replay
 		// (its fingerprint no longer matches the rewritten container),
 		// and openSegment's fresh open re-probes the disk immediately.
-		ws.log.CloseAndRemove() //sage:allow syncerr
-		ws.log = nil
+		log.CloseAndRemove() //sage:allow syncerr
+		u.setLog(ws, nil)
 	}
 	u.openSegment(ws, name, path)
 }
 
-// walSnapshot reports the durability layer for /metrics.
+// walSnapshot reports the durability layer for /metrics, aggregating the
+// per-log chain and group-commit counters across datasets.
 func (u *updates) walSnapshot() walStats {
 	s := walStats{Enabled: u.wcfg.Enabled, Policy: u.wcfg.Policy.String()}
 	if !u.wcfg.Enabled {
 		return s
 	}
+	var logs []*wal.Log
 	u.mu.Lock()
 	for _, ws := range u.walStates {
 		if ws.readOnly {
 			s.ReadOnlyDatasets++
 		}
+		if ws.log != nil {
+			logs = append(logs, ws.log)
+		}
 	}
 	u.mu.Unlock()
+	for _, log := range logs {
+		st := log.Stats()
+		s.Segments += st.Segments
+		s.Rotations += st.Rotations
+		s.GroupSyncs += st.GroupSyncs
+		s.GroupBatches += st.GroupBatches
+	}
 	s.Appends = u.walAppends.Load()
 	s.ReplayedBatches = u.walReplayed.Load()
 	s.DiscardedSegments = u.walDiscarded.Load()
@@ -274,7 +371,10 @@ func (u *updates) walSnapshot() walStats {
 	return s
 }
 
-// walStats is the /metrics view of the durability layer.
+// walStats is the /metrics view of the durability layer. GroupSyncs and
+// GroupBatches measure group-commit effectiveness: batches ÷ syncs is the
+// mean commit window — 1.0 means every batch paid its own fsync, higher
+// means concurrent writers shared leader flushes.
 type walStats struct {
 	Enabled           bool   `json:"enabled"`
 	Policy            string `json:"policy"`
@@ -283,6 +383,10 @@ type walStats struct {
 	ReplayedBatches   int64  `json:"replayed_batches"`
 	DiscardedSegments int64  `json:"discarded_segments"`
 	RejectedReadOnly  int64  `json:"rejected_read_only"`
+	Segments          int    `json:"segments"`
+	Rotations         int64  `json:"rotations"`
+	GroupSyncs        int64  `json:"group_syncs"`
+	GroupBatches      int64  `json:"group_batches"`
 }
 
 // walOps converts a validated batch to its log form.

@@ -562,17 +562,22 @@ type updateRequest struct {
 // updateResponse is the update endpoint's body: the new generation and
 // the shape and delta footprint of the now-current snapshot.
 type updateResponse struct {
-	Dataset          string  `json:"dataset"`
-	Generation       uint64  `json:"generation"`
-	Applied          int     `json:"applied"`
-	Vertices         uint32  `json:"vertices"`
-	Edges            uint64  `json:"edges"`
-	DeltaWords       int64   `json:"delta_words"`
-	DeltaArcsAdded   uint64  `json:"delta_arcs_added"`
-	DeltaArcsDeleted uint64  `json:"delta_arcs_deleted"`
-	Compacted        bool    `json:"compacted,omitempty"`
-	AutoCompacted    bool    `json:"auto_compacted,omitempty"`
-	ElapsedMS        float64 `json:"elapsed_ms"`
+	Dataset          string `json:"dataset"`
+	Generation       uint64 `json:"generation"`
+	Applied          int    `json:"applied"`
+	Vertices         uint32 `json:"vertices"`
+	Edges            uint64 `json:"edges"`
+	DeltaWords       int64  `json:"delta_words"`
+	DeltaArcsAdded   uint64 `json:"delta_arcs_added"`
+	DeltaArcsDeleted uint64 `json:"delta_arcs_deleted"`
+	Compacted        bool   `json:"compacted,omitempty"`
+	AutoCompacted    bool   `json:"auto_compacted,omitempty"`
+	// CompactError reports a requested compaction that failed after the
+	// batch itself durably committed and published: the response is still
+	// 200 — the ops are applied and recoverable — but the overlay was not
+	// folded into the container. Retry with {"compact": true}.
+	CompactError string  `json:"compact_error,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -601,12 +606,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			// accept writes until the log heals (which the next write
 			// attempt probes automatically).
 			writeErrorReason(w, http.StatusServiceUnavailable, "read_only", "%v", err)
+		case errors.Is(err, errShuttingDown):
+			writeErrorReason(w, http.StatusServiceUnavailable, "shutting_down", "%v", err)
 		default:
 			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, updateResponse{
+	resp := updateResponse{
 		Dataset:          dsName,
 		Generation:       res.generation,
 		Applied:          len(req.Ops),
@@ -618,7 +625,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Compacted:        res.compacted,
 		AutoCompacted:    res.autoCompacted,
 		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
-	})
+	}
+	if res.compactErr != nil {
+		resp.CompactError = res.compactErr.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

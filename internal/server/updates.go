@@ -17,6 +17,20 @@ package server
 //     cache entry so new requests map the compacted file, and drops the
 //     overlay; in-flight runs finish on the detached old mapping.
 //
+// Concurrent writers to one dataset do not serialize on the fsync. A
+// batch is built and staged under the dataset update lock — its WAL
+// record buffered with a sequence number (wal.Log.AppendBuffer), its
+// snapshot installed as the dataset's staged tip — then the lock is
+// released while the group-commit barrier (wal.Log.Commit) runs. The
+// next writer chains onto the tip's snapshot and pending ticket, so a
+// window of N batches shares one leader fsync. Publication happens back
+// under the lock, ordered by per-dataset tickets: a writer that finds a
+// later ticket already published was superseded — its ops are included
+// in the published snapshot — and reports that generation instead of
+// publishing stale state. A failed group fsync rolls the whole window
+// back (no batch in it was acknowledged), and a writer staged on the
+// rolled-back tip rebases onto the last published state.
+//
 // The delta budget bounds each dataset's overlay DRAM words — the PSAM
 // small-memory account the overlay lives in. A batch that would exceed it
 // is rejected with 507 Insufficient Storage until a compaction folds the
@@ -33,6 +47,7 @@ package server
 // threshold compacts once, not on every batch.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -46,6 +61,9 @@ import (
 // errDeltaBudget marks a rejected over-budget batch (507).
 var errDeltaBudget = fmt.Errorf("delta budget exceeded")
 
+// errShuttingDown marks a write that arrived after close() began (503).
+var errShuttingDown = errors.New("server is shutting down")
+
 // snapVersion is one published snapshot of a dataset: the overlay view,
 // its logical generation, and the cache handle pinning the base mapping.
 // refs counts the updates-map reference plus every in-flight run.
@@ -55,6 +73,20 @@ type snapVersion struct {
 	ds   *store.Dataset // the base the snapshot composes with
 	h    *store.Handle
 	refs int // guarded by updates.mu
+}
+
+// stagedBatch is a dataset's group-commit tip: the newest batch whose WAL
+// record is buffered (possibly mid-fsync) but whose overlay is not yet
+// published. The next writer chains its batch onto snap and p instead of
+// waiting for the window to flush. The staging writer stays in flight
+// until it publishes or is superseded, and holds its own base pin for
+// that whole span, so snap's base mapping cannot be released while the
+// tip is live.
+type stagedBatch struct {
+	snap   *sage.Snapshot
+	ds     *store.Dataset
+	p      *wal.Pending
+	ticket uint64
 }
 
 // updates owns the per-dataset snapshot versions and serializes batches.
@@ -70,10 +102,15 @@ type updates struct {
 	autoLow  int64
 
 	mu        sync.Mutex
+	closed    bool // set by close(); no log may be opened or state published after
 	versions  map[string]*snapVersion
-	locks     map[string]*sync.Mutex // per-dataset update serialization
-	walStates map[string]*walState   // per-dataset durability state
-	armed     map[string]bool        // auto-compaction hysteresis state
+	locks     map[string]*sync.Mutex  // per-dataset update serialization
+	walStates map[string]*walState    // per-dataset durability state
+	staged    map[string]*stagedBatch // per-dataset group-commit tip
+	tickets   map[string]uint64       // last publication ticket issued
+	published map[string]uint64       // highest ticket actually published
+	pubGen    map[string]uint64       // generation of that publication
+	armed     map[string]bool         // auto-compaction hysteresis state
 
 	batches           atomic.Int64
 	opsApplied        atomic.Int64
@@ -101,6 +138,10 @@ func newUpdates(c *catalog, budgetWords int64, wcfg Durability, model costmodel.
 		versions:  map[string]*snapVersion{},
 		locks:     map[string]*sync.Mutex{},
 		walStates: map[string]*walState{},
+		staged:    map[string]*stagedBatch{},
+		tickets:   map[string]uint64{},
+		published: map[string]uint64{},
+		pubGen:    map[string]uint64{},
 		armed:     map[string]bool{},
 	}
 }
@@ -146,6 +187,82 @@ func (u *updates) lockDataset(name string) *sync.Mutex {
 	return l
 }
 
+// isClosed reports whether close() has begun.
+func (u *updates) isClosed() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.closed
+}
+
+// stagedOf returns name's group-commit tip, nil when no window is open.
+func (u *updates) stagedOf(name string) *stagedBatch {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.staged[name]
+}
+
+// stageTip installs sb as name's tip and assigns its publication ticket.
+// Caller holds the dataset update lock.
+func (u *updates) stageTip(name string, sb *stagedBatch) uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.tickets[name]++
+	sb.ticket = u.tickets[name]
+	u.staged[name] = sb
+	return sb.ticket
+}
+
+// newTicket issues a publication ticket for an unstaged (lock-held)
+// publish, so later superseded writers order against it too.
+func (u *updates) newTicket(name string) uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.tickets[name]++
+	return u.tickets[name]
+}
+
+// clearStaged drops name's tip unconditionally (its window rolled back).
+func (u *updates) clearStaged(name string) {
+	u.mu.Lock()
+	delete(u.staged, name)
+	u.mu.Unlock()
+}
+
+// clearStagedIf drops name's tip only if it is still ticket's batch — a
+// later writer may have staged on top, and their tip must survive.
+func (u *updates) clearStagedIf(name string, ticket uint64) {
+	u.mu.Lock()
+	if sb := u.staged[name]; sb != nil && sb.ticket == ticket {
+		delete(u.staged, name)
+	}
+	u.mu.Unlock()
+}
+
+// supersededGen reports whether a batch with a ticket at or past this one
+// already published — in which case this batch's ops are part of the
+// published snapshot and gen is the generation to report.
+func (u *updates) supersededGen(name string, ticket uint64) (gen uint64, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.published[name] >= ticket {
+		return u.pubGen[name], true
+	}
+	return 0, false
+}
+
+// markPublished records ticket's publication at gen and retires its tip.
+// Caller holds the dataset update lock (publications are serialized).
+func (u *updates) markPublished(name string, ticket, gen uint64) {
+	u.mu.Lock()
+	if ticket > u.published[name] {
+		u.published[name], u.pubGen[name] = ticket, gen
+	}
+	if sb := u.staged[name]; sb != nil && sb.ticket == ticket {
+		delete(u.staged, name)
+	}
+	u.mu.Unlock()
+}
+
 // deltaStats gathers the per-dataset overlay footprints and their
 // predicted traversal overheads, for /metrics: the aggregate counters
 // alone cannot tell which dataset's overlay is the expensive one.
@@ -180,21 +297,27 @@ type updateResult struct {
 	arcsAdded     uint64
 	arcsDeleted   uint64
 	compacted     bool
-	autoCompacted bool // the cost-model hysteresis, not the client, asked
+	autoCompacted bool  // the cost-model hysteresis, not the client, asked
+	compactErr    error // the requested fold failed; the batch itself stands
 }
 
 // apply folds ops into name's current snapshot (creating the identity
 // snapshot on first update), optionally compacting afterwards. It returns
 // errUnknownDataset, errDeltaBudget, a sage validation error (client
-// errors), errReadOnly (the WAL is unwritable, 503), or an IO error.
+// errors), errReadOnly (the WAL is unwritable, 503), errShuttingDown
+// (close() began, 503), or an IO error.
 //
-// With durability enabled the batch is appended to the dataset's
-// write-ahead segment — and, under the always policy, fsynced — after
-// validation but before the overlay becomes visible, so the published
-// state never gets ahead of the log. A compaction requested alongside ops
-// is a second phase: if the container rewrite fails, the (already
-// durable, already published) overlay stands and only the fold is
-// reported failed — exactly the state crash recovery would rebuild.
+// With durability enabled the batch is staged into the dataset's log and
+// carried through the group-commit barrier — under the always policy it
+// is durable — before its overlay becomes visible, so the published state
+// never gets ahead of the log; the dataset lock is released for the fsync
+// wait (see the package comment). A batch that changes nothing publishes
+// nothing: no swap, no log record, and no generation bump, so cached
+// results survive it. A compaction requested alongside ops is a second
+// phase: if the container rewrite fails, the (already durable, already
+// published) overlay stands, and the failure is reported in-band through
+// updateResult.compactErr — exactly the state crash recovery would
+// rebuild.
 func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateResult, error) {
 	path, err := u.catalog.path(name)
 	if err != nil {
@@ -205,18 +328,38 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 	l.Lock()
 	defer l.Unlock()
 
+	if u.isClosed() {
+		return nil, errShuttingDown
+	}
+
 	var ws *walState
 	if u.wcfg.Enabled {
 		ws = u.recoverLocked(name, path)
-		if ws.log == nil {
-			// The segment failed to open (or to reopen after compaction).
+		if u.logOf(ws) == nil {
+			// The log failed to open (or to reopen after compaction).
 			// Retry the whole recovery so a healed disk needs no restart;
-			// with no open segment there can be no current version, so a
+			// with no open log there can be no current version, so a
 			// fresh replay cannot double-apply anything.
 			u.mu.Lock()
 			delete(u.walStates, name)
 			u.mu.Unlock()
 			ws = u.recoverLocked(name, path)
+		}
+	}
+
+	// A compaction folds the overlay into the container, so it cannot run
+	// with a commit window still in flight: flush the staged tip here,
+	// under the lock. A failed flush rolls the window back — those
+	// batches were never acknowledged — and the compaction proceeds from
+	// the published state.
+	if compact {
+		if tip := u.stagedOf(name); tip != nil {
+			log := u.logOf(ws)
+			if log == nil {
+				u.clearStaged(name)
+			} else if err := log.Commit(tip.p); err != nil {
+				u.clearStaged(name)
+			}
 		}
 	}
 
@@ -228,52 +371,139 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 	if err != nil {
 		return nil, err
 	}
-	u.mu.Lock()
-	cur := u.versions[name]
-	u.mu.Unlock()
-	var snap *sage.Snapshot
-	if cur != nil {
-		if cur.ds != h.Dataset() { // unreachable; guards the pin invariant
-			h.Release()
-			return nil, fmt.Errorf("snapshot base lost its mapping (dataset %q)", name)
-		}
-		snap = cur.snap
-	} else {
-		snap = sage.GraphFromDataset(h.Dataset()).Snapshot()
-	}
 
-	next, err := snap.ApplyBatch(ops)
-	if err != nil {
+	// Build the batch on the staged tip (an open commit window) when one
+	// exists, else on the published version, and stage its WAL record
+	// chained after the tip's. A stale-chain rejection means the window
+	// we extended rolled back with its failed group fsync while we were
+	// applying ops; rebase once onto the published state.
+	var snap, next *sage.Snapshot
+	var cur *snapVersion
+	var pend *wal.Pending
+	var log *wal.Log
+	noop := false
+	for attempt := 0; ; attempt++ {
+		tip := u.stagedOf(name)
+		u.mu.Lock()
+		cur = u.versions[name]
+		u.mu.Unlock()
+		base := cur
+		if tip != nil {
+			base = &snapVersion{snap: tip.snap, ds: tip.ds}
+		}
+		if base != nil {
+			if base.ds != h.Dataset() { // unreachable; guards the pin invariant
+				h.Release()
+				return nil, fmt.Errorf("snapshot base lost its mapping (dataset %q)", name)
+			}
+			snap = base.snap
+		} else {
+			snap = sage.GraphFromDataset(h.Dataset()).Snapshot()
+		}
+
+		next, err = snap.ApplyBatch(ops)
+		if err != nil {
+			h.Release()
+			return nil, err
+		}
+		if u.budget > 0 && next.DeltaWords() > u.budget && !compact {
+			h.Release()
+			u.rejectedDelta.Add(1)
+			return nil, fmt.Errorf("%w: overlay would hold %d DRAM words (budget %d); compact or split the batch",
+				errDeltaBudget, next.DeltaWords(), u.budget)
+		}
+
+		// A batch that changes nothing — ApplyBatch handed back its
+		// receiver (every op was a no-op against the overlay), or the
+		// batch cancelled out over the bare base — is not swapped,
+		// logged, or generation-bumped, so cached results survive it.
+		// A compaction requested alongside still runs.
+		noop = next == snap || (base == nil && next.DeltaWords() == 0)
+
+		if ws == nil || len(ops) == 0 || noop {
+			break
+		}
+		var after *wal.Pending
+		if tip != nil {
+			after = tip.p
+		}
+		log = u.logOf(ws)
+		pend, err = u.walStage(ws, name, log, ops, after)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, wal.ErrStaleChain) && attempt == 0 {
+			u.clearStaged(name)
+			continue
+		}
 		h.Release()
 		return nil, err
 	}
-	if u.budget > 0 && next.DeltaWords() > u.budget && !compact {
+
+	res := &updateResult{vertices: next.NumVertices(), edges: next.NumEdges()}
+
+	if noop && !compact {
+		if cur != nil {
+			res.generation = cur.gen
+		} else {
+			res.generation = h.Generation()
+		}
+		res.deltaWords = next.DeltaWords()
+		res.arcsAdded, res.arcsDeleted = next.DeltaArcs()
 		h.Release()
-		u.rejectedDelta.Add(1)
-		return nil, fmt.Errorf("%w: overlay would hold %d DRAM words (budget %d); compact or split the batch",
-			errDeltaBudget, next.DeltaWords(), u.budget)
+		if len(ops) > 0 {
+			u.batches.Add(1)
+			u.opsApplied.Add(int64(len(ops)))
+		}
+		return res, nil
 	}
 
-	// A batch of pure no-ops on a dataset with no overlay changes nothing:
-	// nothing is swapped, logged, or invalidated (a compaction requested
-	// alongside still runs).
-	noop := cur == nil && next.DeltaWords() == 0
-
-	// Durability barrier: the batch reaches the log before it reaches any
-	// reader. A failed append rejects the batch with the dataset read-only
-	// and no published state changed.
-	if ws != nil && len(ops) > 0 && !noop {
-		if err := u.walAppend(ws, name, ops); err != nil {
+	var ticket uint64
+	if pend != nil && !compact {
+		// Open the commit window: install the tip so the next writer can
+		// stage on it, release the dataset, and wait out the barrier.
+		ticket = u.stageTip(name, &stagedBatch{snap: next, ds: h.Dataset(), p: pend})
+		l.Unlock()
+		err := u.walCommit(ws, name, log, pend)
+		l.Lock()
+		if err != nil {
+			u.clearStagedIf(name, ticket)
+			h.Release()
+			return nil, err
+		}
+		if u.isClosed() {
+			// close() won the relock race. The batch is durable and will
+			// replay on restart, but nothing may repopulate the version
+			// map now.
+			u.clearStagedIf(name, ticket)
+			h.Release()
+			return nil, errShuttingDown
+		}
+		if gen, ok := u.supersededGen(name, ticket); ok {
+			// A later batch staged on ours published while we waited; its
+			// snapshot includes our ops, so our publish already happened.
+			res.generation = gen
+			res.deltaWords = next.DeltaWords()
+			res.arcsAdded, res.arcsDeleted = next.DeltaArcs()
+			u.clearStagedIf(name, ticket)
+			h.Release()
+			u.batches.Add(1)
+			u.opsApplied.Add(int64(len(ops)))
+			return res, nil
+		}
+	} else if pend != nil {
+		// Compacting batch: it must be durable before the fold, and the
+		// whole request stays serialized under the dataset lock.
+		if err := u.walCommit(ws, name, log, pend); err != nil {
 			h.Release()
 			return nil, err
 		}
 	}
 
-	res := &updateResult{vertices: next.NumVertices(), edges: next.NumEdges()}
-	if noop {
-		res.generation = h.Generation()
-		h.Release()
-	} else {
+	if !noop {
+		if ticket == 0 {
+			ticket = u.newTicket(name)
+		}
 		res.generation = u.catalog.cache.Bump(path)
 		res.deltaWords = next.DeltaWords()
 		res.arcsAdded, res.arcsDeleted = next.DeltaArcs()
@@ -285,6 +515,15 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 		} else {
 			nv := &snapVersion{snap: next, gen: res.generation, ds: h.Dataset(), h: h, refs: 1}
 			u.mu.Lock()
+			if u.closed {
+				// close() snapshotted the version map between our fast
+				// closed check and this swap; installing nv now would leak
+				// its base pin past shutdown.
+				u.mu.Unlock()
+				h.Release()
+				u.clearStagedIf(name, ticket)
+				return nil, errShuttingDown
+			}
 			old := u.versions[name]
 			u.versions[name] = nv
 			u.mu.Unlock()
@@ -292,6 +531,10 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 				u.unref(old)
 			}
 		}
+		u.markPublished(name, ticket, res.generation)
+	} else {
+		res.generation = h.Generation()
+		h.Release()
 	}
 	if len(ops) > 0 {
 		u.batches.Add(1)
@@ -300,12 +543,20 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 
 	if compact {
 		if err := u.compactLocked(name, path, ws, next, res); err != nil {
-			return nil, err
+			// The batch itself is durable and published; only the fold
+			// failed. Report it in-band (200 with compact_error) — what
+			// the client sees is exactly the state crash recovery would
+			// rebuild, and a retried compact picks up from here.
+			res.compactErr = err
+			return res, nil
 		}
 		res.compacted = true
 		res.deltaWords = 0
 		res.arcsAdded, res.arcsDeleted = 0, 0
-	} else if u.autoHigh > 0 && res.deltaWords > 0 {
+		// Re-key the publication at the post-compact generation so a
+		// superseded writer waking now reports the generation readers see.
+		u.markPublished(name, u.newTicket(name), res.generation)
+	} else if u.autoHigh > 0 && res.deltaWords > 0 && u.stagedOf(name) == nil {
 		u.maybeAutoCompact(name, path, ws, next, res)
 	}
 	return res, nil
@@ -313,10 +564,11 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 
 // maybeAutoCompact re-prices the just-published overlay's traversal
 // overhead and folds it into the base when the hysteresis band says so.
-// Caller holds the dataset update lock and has published next (so a
-// compaction failure leaves exactly the state an explicit compact
-// failure would: a durable, consistent overlay). The batch itself never
-// fails on the auto path — its overlay is already live.
+// Caller holds the dataset update lock with no commit window in flight
+// and has published next (so a compaction failure leaves exactly the
+// state an explicit compact failure would: a durable, consistent
+// overlay). The batch itself never fails on the auto path — its overlay
+// is already live.
 func (u *updates) maybeAutoCompact(name, path string, ws *walState, next *sage.Snapshot, res *updateResult) {
 	if !u.shouldAutoCompact(name, u.overlayCost(next)) {
 		return
@@ -332,6 +584,7 @@ func (u *updates) maybeAutoCompact(name, path string, ws *walState, next *sage.S
 	res.autoCompacted = true
 	res.deltaWords = 0
 	res.arcsAdded, res.arcsDeleted = 0, 0
+	u.markPublished(name, u.newTicket(name), res.generation)
 }
 
 // shouldAutoCompact is the hysteresis decision: fire only when armed and
@@ -362,10 +615,10 @@ func (u *updates) shouldAutoCompact(name string, overhead int64) bool {
 
 // compactLocked folds next's merged view into a rewritten container
 // (atomic temp-file rename through Create), swaps readers onto the new
-// generation, and retires the WAL segment whose records were folded in.
-// Caller holds the dataset update lock; next's overlay state has already
-// been published (or is empty), so a failure here leaves a consistent,
-// durable overlay behind.
+// generation, and retires the WAL chain whose records were folded in.
+// Caller holds the dataset update lock with no commit window in flight;
+// next's overlay state has already been published (or is empty), so a
+// failure here leaves a consistent, durable overlay behind.
 func (u *updates) compactLocked(name, path string, ws *walState, next *sage.Snapshot, res *updateResult) error {
 	if err := next.Compact(path); err != nil {
 		return fmt.Errorf("compacting %q: %w", name, err)
@@ -404,12 +657,16 @@ func (u *updates) retire(name string) {
 }
 
 // close retires every version (in-flight pins still defer the base
-// release until their runs end) and closes every WAL segment, flushing
-// appended records per policy. The first close error is returned: Close
-// performs the final flush, so a failure here can mean a logged batch
-// never reached the disk.
+// release until their runs end) and closes every WAL log, flushing
+// buffered records per policy — a writer mid-commit-window has its
+// pending resolved (or failed) by Close, and the closed flag keeps any
+// racing write or recovery from reopening a log or republishing state
+// afterwards. The first close error is returned: Close performs the
+// final flush, so a failure here can mean a logged batch never reached
+// the disk.
 func (u *updates) close() error {
 	u.mu.Lock()
+	u.closed = true
 	names := make([]string, 0, len(u.versions))
 	for name := range u.versions {
 		names = append(names, name)
@@ -422,6 +679,7 @@ func (u *updates) close() error {
 		}
 	}
 	u.walStates = map[string]*walState{}
+	u.staged = map[string]*stagedBatch{}
 	u.mu.Unlock()
 	for _, name := range names {
 		u.retire(name)

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"sage"
@@ -84,6 +85,60 @@ func BenchmarkSustainedUpdates(b *testing.B) {
 			b.StopTimer()
 			close(stop)
 			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
+		})
+	}
+}
+
+// BenchmarkSustainedUpdatesMultiWriter measures the durable write path
+// under concurrent writers to ONE dataset: the WAL is on with the
+// always-fsync policy, so every acknowledged batch pays for reaching
+// stable storage. This is the shape group commit exists for — W writers
+// whose fsyncs coalesce into one leader flush per window instead of W
+// serialized flushes — published to BENCH_updates.json alongside the
+// WAL-off cases above.
+func BenchmarkSustainedUpdatesMultiWriter(b *testing.B) {
+	for _, writers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("writers%d", writers), func(b *testing.B) {
+			s := benchServer(b, server.Config{
+				ResultCacheEntries: -1,
+				Durability:         server.Durability{Enabled: true},
+			})
+			// Each iteration is a guaranteed real overlay mutation (never a
+			// no-op the server could skip logging): iteration n targets
+			// chord c of the 128x126 non-adjacent (u, v) pairs, inserting
+			// it on even passes over the chord space and deleting it on odd
+			// ones. Writers share the iteration counter, so no two touch
+			// the same chord in the same pass.
+			var next atomic.Int64
+			var failed atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						n := next.Add(1) - 1
+						if n >= int64(b.N) {
+							return
+						}
+						const chords = 128 * 126
+						c, pass := n%chords, (n/chords)%2
+						body := fmt.Sprintf(`{"ops": [{"u": %d, "v": %d, "del": %v}]}`,
+							c%128, 129+c%126, pass == 1)
+						if code := benchPost(s, "/v1/update/chain", body); code != 200 {
+							failed.Add(1)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if n := failed.Load(); n > 0 {
+				b.Fatalf("%d writers failed", n)
+			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/sec")
 		})
 	}

@@ -141,6 +141,54 @@ func TestUpdateChangesResults(t *testing.T) {
 	}
 }
 
+// TestNoopBatchKeepsResultCache pins the regression: a batch whose ops
+// are all already satisfied — re-inserting a present edge, deleting an
+// absent one — must not bump the generation, so cached results survive
+// it. Before the fix such a batch republished an identical snapshot and
+// invalidated every cached answer for the dataset.
+func TestNoopBatchKeepsResultCache(t *testing.T) {
+	ts := newChainServer(t, server.Config{})
+
+	// Establish a real overlay, then warm the result cache on it.
+	code, upd := postUpdate(t, ts.URL, "chain", `{"ops": [{"u": 0, "v": 5}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("seed update: %d %v", code, upd)
+	}
+	if _, gen, _ := components(t, ts.URL); gen != 2 {
+		t.Fatalf("seed update: gen %v", gen)
+	}
+	if _, _, cache := components(t, ts.URL); cache != "hit" {
+		t.Fatal("rerun not cached before the no-op batch")
+	}
+
+	// All-no-op batch: {0,5} already exists in the overlay, {0,7} does not
+	// exist anywhere. It must ack without touching the generation.
+	code, upd = postUpdate(t, ts.URL, "chain",
+		`{"ops": [{"u": 0, "v": 5}, {"u": 0, "v": 7, "del": true}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("no-op batch: %d %v", code, upd)
+	}
+	if metric(t, upd, "generation") != 2 {
+		t.Fatalf("no-op batch bumped the generation: %v", upd)
+	}
+	if _, gen, cache := components(t, ts.URL); gen != 2 || cache != "hit" {
+		t.Fatalf("no-op batch invalidated the result cache: gen %v, cache %s", gen, cache)
+	}
+
+	// Same contract for ops that are no-ops against the base graph alone
+	// (re-inserting a base edge with no overlay involvement at all).
+	code, upd = postUpdate(t, ts.URL, "chain", `{"ops": [{"u": 3, "v": 4}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("base no-op: %d %v", code, upd)
+	}
+	if metric(t, upd, "generation") != 2 {
+		t.Fatalf("base no-op bumped the generation: %v", upd)
+	}
+	if _, _, cache := components(t, ts.URL); cache != "hit" {
+		t.Fatal("base no-op invalidated the result cache")
+	}
+}
+
 func TestUpdateValidation(t *testing.T) {
 	ts := newChainServer(t, server.Config{})
 

@@ -9,32 +9,62 @@
 // so a restarted server can replay surviving records onto the last
 // durable container generation.
 //
-// # Segment layout
+// # Group commit
 //
-// One log file per dataset, conventionally at <dataset path> + ".wal":
+// Appending and flushing are split so concurrent writers share fsyncs:
+// AppendBuffer assigns the batch its sequence number and writes the
+// record under the log's lock, returning a Pending ticket; Commit is the
+// group-commit barrier — the first committer becomes the leader and
+// fsyncs once for every record buffered before the flush began, then
+// resolves all of their tickets. Under SyncAlways a batch is durable
+// exactly when its Commit returns nil. Because fsync makes the whole
+// file durable (a prefix, never a subset), a failed group flush cannot
+// leave holes: the log truncates back to the last durable offset and
+// fails every unresolved ticket, so callers re-stage from published
+// state (AppendBuffer reports ErrStaleChain when asked to extend a
+// rolled-back ticket).
 //
-//	header (32 B): magic "SAGEWAL1" | version u32 | flags u32 |
-//	               base size u64 | base crc u32 | reserved u32
+// # Segment layout and rotation
+//
+// One log chain per dataset. The active segment lives at
+// <dataset path> + ".wal"; when Options.SegmentBytes caps its size, a
+// full segment is sealed by renaming it to <path>.1, <path>.2, … and a
+// fresh active segment continues the chain. Each segment:
+//
+//	header (48 B): magic "SAGEWAL2" | version u32 | segment index u32 |
+//	               base size u64 | base crc u32 | reserved u32 |
+//	               prev last seq u64 | prev segment length u64
 //	record*:       payload len u32 | payload crc32c u32 |
 //	               payload (seq u64 | nops u32 | ops...)
 //	op (13 B):     u u32 | v u32 | w i32 | flags u8 (bit0 = del)
 //
 // All integers are little-endian. The header's base fingerprint ties the
 // segment to the container generation its records apply onto: a
-// compaction writes a new container and retires the segment, and if the
-// process dies between those two steps the stale segment's fingerprint
-// no longer matches the (new) container, so replay discards it instead
-// of applying already-folded batches twice. Replay is idempotent either
-// way around the crash point.
+// compaction writes a new container and retires the chain, and if the
+// process dies between those two steps the stale segments' fingerprints
+// no longer match the (new) container, so replay discards them instead
+// of applying already-folded batches twice. The prev fields link each
+// segment to its predecessor (last sequence number and byte length), so
+// recovery can verify the chain is whole before trusting it. Segment
+// indices are 1-based and the active segment's index always equals the
+// sealed count plus one.
 //
 // # Recovery
 //
-// Open scans the segment sequentially and stops at the first record that
-// is short, oversized, or fails its checksum — a torn tail from a crash
-// mid-append — truncating the file there. Everything before the torn
-// record is intact (records are written in order and fsynced per
-// policy), so recovery always yields a prefix of the appended batches:
-// the state either before or after any given batch, never a hybrid.
+// Open enumerates the sealed chain (a consecutive <path>.1..K prefix by
+// construction), verifies every header and link, and replays records in
+// chain order, enforcing sequence continuity across boundaries. The
+// first short, oversized, or checksum-failing record — a torn tail from
+// a crash mid-append — cuts the chain there: in the active segment the
+// tail is truncated; inside a sealed segment the later segments are
+// removed and the cut segment, truncated to its last good record,
+// becomes the active segment again. Everything before the cut is intact,
+// so recovery always yields a prefix of the appended batches: the state
+// either before or after any given batch, never a hybrid. A crash
+// between rotation steps (sealed chain present, active missing or its
+// header torn) is also just a prefix: the header is fsynced before any
+// record lands in a segment, so a torn active header proves the segment
+// held nothing acknowledged.
 package wal
 
 import (
@@ -50,9 +80,9 @@ import (
 )
 
 const (
-	magic        = "SAGEWAL1"
-	walVersion   = 1
-	headerSize   = 32
+	magic        = "SAGEWAL2"
+	walVersion   = 2
+	headerSize   = 48
 	recHeader    = 8        // payload length u32 + crc32c u32
 	opSize       = 13       // u u32 + v u32 + w i32 + flags u8
 	maxRecordLen = 64 << 20 // sanity bound on one record's payload
@@ -67,12 +97,18 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
+// ErrStaleChain reports an AppendBuffer whose `after` ticket was rolled
+// back: the batch the caller staged on top of never became durable, so
+// the caller must re-apply from published state before logging.
+var ErrStaleChain = errors.New("wal: chained batch was rolled back")
+
 // SyncPolicy selects when appended records reach stable storage.
 type SyncPolicy int
 
 const (
-	// SyncAlways fsyncs every append before it returns: a batch is
-	// durable before its overlay becomes visible. The default.
+	// SyncAlways fsyncs every batch's group-commit barrier before its
+	// Commit returns: a batch is durable before its overlay becomes
+	// visible. The default.
 	SyncAlways SyncPolicy = iota
 	// SyncInterval fsyncs from a background flusher every Interval:
 	// bounded data loss (at most one interval of batches) for much
@@ -117,6 +153,11 @@ type Options struct {
 	// Interval is the background flush period under SyncInterval
 	// (default 100ms).
 	Interval time.Duration
+	// SegmentBytes caps the active segment: an append that would push it
+	// past the cap first seals it into the numbered chain and starts a
+	// fresh segment. 0 disables rotation. A single record larger than
+	// the cap still fits — it gets a segment of its own.
+	SegmentBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -181,55 +222,135 @@ type Op struct {
 }
 
 // Batch is one replayed record: the ops of one update batch, its
-// sequence number within the segment, and the file offset its record
-// ends at (for surgical truncation when a batch fails to re-apply).
+// sequence number within the chain, the segment it lives in, and the
+// offset its record ends at within that segment (for surgical truncation
+// when a batch fails to re-apply).
 type Batch struct {
 	Seq    uint64
 	Ops    []Op
+	Seg    int
 	EndOff int64
 }
 
-// Recovery reports what Open found in an existing segment.
+// Recovery reports what Open found in an existing chain.
 type Recovery struct {
 	// Batches are the surviving records in append order.
 	Batches []Batch
-	// Discarded reports that a whole stale segment was dropped: its
-	// header was corrupt or its base fingerprint did not match the
-	// container (a compaction retired the base after these records were
-	// folded in).
+	// Discarded reports that a whole stale chain was dropped: a header
+	// was corrupt, a link was broken, or the base fingerprint did not
+	// match the container (a compaction retired the base after these
+	// records were folded in).
 	Discarded bool
-	// TornBytes counts trailing bytes truncated at the first short,
-	// oversized, or checksum-failing record.
+	// TornBytes counts record bytes dropped at the chain cut — the torn
+	// tail of the active segment, or everything from the first bad
+	// record on when the cut lands inside a sealed segment.
 	TornBytes int64
 }
 
-// Log is one dataset's write-ahead segment. All methods are safe for
-// concurrent use, though the serving layer serializes appends per
-// dataset anyway.
+// SegmentPath names the j-th sealed segment of the chain rooted at the
+// active path: <path>.1, <path>.2, ...
+func SegmentPath(path string, j int) string {
+	return fmt.Sprintf("%s.%d", path, j)
+}
+
+// Pending is one buffered batch's commit ticket: AppendBuffer issues it,
+// Commit resolves it at the group-commit barrier. A ticket belongs to
+// the Log that issued it.
+type Pending struct {
+	seq  uint64
+	done bool  // guarded by the issuing Log's mu
+	err  error // guarded by the issuing Log's mu
+}
+
+// Seq returns the chain sequence number AppendBuffer assigned the batch.
+func (p *Pending) Seq() uint64 { return p.seq }
+
+// Log is one dataset's write-ahead chain. All methods are safe for
+// concurrent use; AppendBuffer/Commit are designed for it.
 type Log struct {
 	fs   FS
 	path string
+	base Fingerprint
 	opts Options
 
-	mu      sync.Mutex
-	f       File
-	goodOff int64 // end of the last fully appended record
-	curOff  int64 // bytes physically written (>= goodOff after a failed append)
-	seq     uint64
-	dirty   bool  // appended records not yet fsynced
-	syncErr error // sticky background-flush failure; cleared by a later success
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond // broadcast when a flush resolves or state repairs
+	f          File       // the active segment (nil only after dieLocked)
+	segIdx     uint32     // active segment's header index == sealed count + 1
+	goodOff    int64      // end of the last fully appended record (active segment)
+	curOff     int64      // bytes physically written (>= goodOff after a failed append)
+	seq        uint64     // last assigned sequence number (chain-global)
+	durableOff int64      // prefix of the active segment known flushed
+	durableSeq uint64     // last sequence number known flushed
+	syncing    bool       // a group-commit leader's fsync is in flight (mu released)
+	pending    []*Pending // buffered but unresolved tickets, in seq order
+	dirty      bool       // appended records not yet fsynced (interval/never policies)
+	syncErr    error      // sticky flush failure; cleared by a later success
+	closed     bool
+
+	rotations    int64
+	groupSyncs   int64
+	groupBatches int64
 
 	stop chan struct{}
 	done chan struct{}
 }
 
-// Open opens (creating if absent) the segment at path for the container
-// generation identified by base, replaying surviving records. A segment
-// whose header is corrupt or whose fingerprint does not match base is
-// discarded and reinitialized; a torn or corrupt tail is truncated at
-// the first bad record. The returned log appends after the last good
-// record, continuing its sequence numbering.
+// Stats is a point-in-time snapshot of a log's chain shape and
+// group-commit activity.
+type Stats struct {
+	Segments     int   // files in the chain: sealed segments plus the active one
+	Rotations    int64 // segments sealed since this log opened
+	GroupSyncs   int64 // leader fsyncs taken on the commit barrier
+	GroupBatches int64 // batches those fsyncs made durable
+}
+
+// Stats reports the log's chain shape and group-commit counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments:     int(l.segIdx),
+		Rotations:    l.rotations,
+		GroupSyncs:   l.groupSyncs,
+		GroupBatches: l.groupBatches,
+	}
+}
+
+// header is the decoded form of a segment header.
+type header struct {
+	index   uint32
+	prevSeq uint64
+	prevLen uint64
+}
+
+// parseHeader decodes and validates data's header against base. ok is
+// false when the header is unreadable (short, wrong magic or version);
+// stale is true when it parses but names another container generation.
+func parseHeader(data []byte, base Fingerprint) (h header, ok, stale bool) {
+	if len(data) < headerSize || string(data[:8]) != magic {
+		return h, false, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[8:]) != walVersion {
+		return h, false, false
+	}
+	h.index = le.Uint32(data[12:])
+	h.prevSeq = le.Uint64(data[32:])
+	h.prevLen = le.Uint64(data[40:])
+	if le.Uint64(data[16:]) != base.Size || le.Uint32(data[24:]) != base.CRC {
+		return h, true, true
+	}
+	return h, true, false
+}
+
+// Open opens (creating if absent) the chain rooted at path for the
+// container generation identified by base, replaying surviving records
+// in chain order. A chain whose headers are corrupt, whose links are
+// broken, or whose fingerprints do not match base is discarded and
+// reinitialized; a torn or corrupt tail cuts the chain at the first bad
+// record. The returned log appends after the last good record,
+// continuing its sequence numbering.
 func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
 	opts = opts.withDefaults()
 	var rec Recovery
@@ -237,49 +358,44 @@ func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
 	if err != nil {
 		return nil, rec, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
-	data, err := io.ReadAll(f)
+	active, err := io.ReadAll(f)
 	if err != nil {
 		_ = f.Close()
 		return nil, rec, fmt.Errorf("wal: reading %s: %w", path, err)
 	}
-	l := &Log{fs: opts.FS, path: path, opts: opts, f: f}
-
-	fresh := len(data) == 0
-	if !fresh && !headerMatches(data, base) {
-		rec.Discarded = true
-		fresh = true
-	}
-	if fresh {
-		if err := l.initSegment(base, len(data) > 0); err != nil {
+	// The sealed chain is a consecutive 1..K prefix by construction:
+	// sealing appends at the top, retirement removes from the top.
+	var sealed [][]byte
+	for {
+		sp := SegmentPath(path, len(sealed)+1)
+		if _, err := opts.FS.Stat(sp); err != nil {
+			break
+		}
+		sf, err := opts.FS.OpenFile(sp, os.O_RDONLY, 0)
+		if err != nil {
 			_ = f.Close()
-			return nil, rec, err
+			return nil, rec, fmt.Errorf("wal: opening %s: %w", sp, err)
 		}
-	} else {
-		off := int64(headerSize)
-		for int64(len(data)) > off {
-			n, batch, ok := decodeRecord(data, off)
-			if !ok {
-				break
-			}
-			batch.EndOff = off + n
-			rec.Batches = append(rec.Batches, batch)
-			l.seq = batch.Seq
-			off += n
+		data, rerr := io.ReadAll(sf)
+		if cerr := sf.Close(); rerr == nil {
+			rerr = cerr
 		}
-		if torn := int64(len(data)) - off; torn > 0 {
-			rec.TornBytes = torn
-			if err := f.Truncate(off); err != nil {
-				_ = f.Close()
-				return nil, rec, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
-			}
-		}
-		if _, err := f.Seek(off, io.SeekStart); err != nil {
+		if rerr != nil {
 			_ = f.Close()
-			return nil, rec, err
+			return nil, rec, fmt.Errorf("wal: reading %s: %w", sp, rerr)
 		}
-		l.goodOff, l.curOff = off, off
+		sealed = append(sealed, data)
 	}
 
+	l := &Log{fs: opts.FS, path: path, base: base, opts: opts, f: f, segIdx: 1}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.recoverChain(sealed, active, &rec); err != nil {
+		if l.f != nil {
+			_ = l.f.Close()
+		}
+		return nil, rec, err
+	}
+	l.durableOff, l.durableSeq = l.goodOff, l.seq
 	if opts.Policy == SyncInterval {
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
@@ -288,24 +404,248 @@ func Open(path string, base Fingerprint, opts Options) (*Log, Recovery, error) {
 	return l, rec, nil
 }
 
-// headerMatches validates the segment header against the expected base.
-func headerMatches(data []byte, base Fingerprint) bool {
-	if len(data) < headerSize || string(data[:8]) != magic {
-		return false
+// recoverChain validates headers and links, replays records in chain
+// order, and repairs whatever a crash (or corruption) left behind. On
+// return l.f is the open active segment positioned at l.goodOff.
+func (l *Log) recoverChain(sealed [][]byte, active []byte, rec *Recovery) error {
+	// Headers first: the chain's fate is decided as a whole. A sealed
+	// segment is written and fsynced in full before it joins the chain,
+	// so an unreadable or foreign header there means the entire chain
+	// predates the current container generation.
+	heads := make([]header, len(sealed))
+	for i, data := range sealed {
+		h, ok, stale := parseHeader(data, l.base)
+		if !ok || stale || h.index != uint32(i+1) {
+			rec.Discarded = true
+			return l.resetChainLocked(len(sealed))
+		}
+		heads[i] = h
 	}
-	le := binary.LittleEndian
-	return le.Uint32(data[8:]) == walVersion &&
-		le.Uint64(data[16:]) == base.Size &&
-		le.Uint32(data[24:]) == base.CRC
+	activeIdx := len(sealed) + 1
+	var ah header
+	haveActive := false
+	if len(active) > 0 {
+		h, ok, stale := parseHeader(active, l.base)
+		switch {
+		case stale:
+			rec.Discarded = true
+			return l.resetChainLocked(len(sealed))
+		case !ok && len(sealed) == 0:
+			// Garbage where the only segment's header should be.
+			rec.Discarded = true
+			return l.resetChainLocked(0)
+		case !ok:
+			// Torn active header from a crash mid-rotation: the header
+			// is fsynced before any record lands, so nothing
+			// acknowledged lives here. Recreate it below; the sealed
+			// records still count.
+		case int(h.index) <= len(sealed):
+			// A crash mid-retirement left sealed segments at or above
+			// the active's index: the active header is the authority —
+			// those files were condemned before it was (re)written.
+			for j := len(sealed); j >= int(h.index); j-- {
+				if err := l.removeSeg(j); err != nil {
+					return err
+				}
+			}
+			l.fs.SyncDir(filepath.Dir(l.path))
+			sealed = sealed[:h.index-1]
+			heads = heads[:h.index-1]
+			activeIdx = int(h.index)
+			ah, haveActive = h, true
+		case int(h.index) == len(sealed)+1:
+			ah, haveActive = h, true
+		default:
+			// index > sealed count + 1: a sealed segment vanished, so
+			// the surviving records have a sequence gap. Nothing here
+			// can be trusted.
+			rec.Discarded = true
+			return l.resetChainLocked(len(sealed))
+		}
+	}
+
+	// Replay in chain order, enforcing link and sequence continuity at
+	// every boundary.
+	expSeq := uint64(0)
+	prevLen := uint64(0)
+	for i, data := range sealed {
+		if heads[i].prevSeq != expSeq || heads[i].prevLen != prevLen {
+			rec.Discarded = true
+			rec.Batches = nil
+			return l.resetChainLocked(len(sealed))
+		}
+		off := int64(headerSize)
+		for int64(len(data)) > off {
+			n, batch, ok := decodeRecord(data, off)
+			if !ok || batch.Seq != expSeq+1 {
+				break
+			}
+			batch.Seg, batch.EndOff = i+1, off+n
+			rec.Batches = append(rec.Batches, batch)
+			expSeq++
+			off += n
+		}
+		if off < int64(len(data)) {
+			// Corruption inside a sealed segment: the rest of the chain
+			// is unreachable (sequence gap). Cut here — this segment,
+			// truncated to its last good record, becomes the active
+			// segment again.
+			rec.TornBytes = chainBytesAfter(sealed[i:], active, off)
+			return l.cutChainLocked(i+1, off, expSeq, len(sealed))
+		}
+		prevLen = uint64(len(data))
+	}
+
+	if !haveActive {
+		// Fresh log, or a crash between sealing a segment and creating
+		// its successor (or a torn active header). Start the next
+		// segment of the chain; the sealed prefix survives as-is.
+		l.segIdx = uint32(activeIdx)
+		l.seq = expSeq
+		return l.initActiveLocked(uint32(activeIdx), expSeq, prevLen, len(active) > 0)
+	}
+	if ah.prevSeq != expSeq || ah.prevLen != prevLen {
+		rec.Discarded = true
+		rec.Batches = nil
+		return l.resetChainLocked(len(sealed))
+	}
+	off := int64(headerSize)
+	for int64(len(active)) > off {
+		n, batch, ok := decodeRecord(active, off)
+		if !ok || batch.Seq != expSeq+1 {
+			break
+		}
+		batch.Seg, batch.EndOff = activeIdx, off+n
+		rec.Batches = append(rec.Batches, batch)
+		expSeq++
+		off += n
+	}
+	if torn := int64(len(active)) - off; torn > 0 {
+		rec.TornBytes = torn
+		if err := l.f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %w", l.path, err)
+		}
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return err
+	}
+	l.segIdx = uint32(activeIdx)
+	l.seq = expSeq
+	l.goodOff, l.curOff = off, off
+	return nil
 }
 
-// initSegment (re)writes a fresh header for base. The header is synced
-// immediately regardless of policy — it is written once per generation
-// and a lost header would discard every later record.
-func (l *Log) initSegment(base Fingerprint, truncate bool) error {
+// chainBytesAfter totals the record bytes a chain cut drops: the rest of
+// the cut segment (segs[0], from off), every later sealed segment's
+// records, and the active segment's records.
+func chainBytesAfter(segs [][]byte, active []byte, off int64) int64 {
+	total := int64(len(segs[0])) - off
+	for _, data := range segs[1:] {
+		if n := int64(len(data)) - headerSize; n > 0 {
+			total += n
+		}
+	}
+	if n := int64(len(active)) - headerSize; n > 0 {
+		total += n
+	}
+	return total
+}
+
+// resetChainLocked discards the whole chain: the active segment is
+// rewritten as a fresh index-1 header for the current base, then the
+// sealed files are removed from the top down. Ordering matters for
+// crash safety — once the active header is durable it is the authority,
+// so a crash mid-removal leaves orphans above its index that the next
+// recovery deletes without replaying.
+func (l *Log) resetChainLocked(sealedCount int) error {
+	if err := l.initActiveLocked(1, 0, 0, true); err != nil {
+		return err
+	}
+	for j := sealedCount; j >= 1; j-- {
+		if err := l.removeSeg(j); err != nil {
+			return err
+		}
+	}
+	l.fs.SyncDir(filepath.Dir(l.path))
+	l.segIdx = 1
+	l.seq, l.durableSeq = 0, 0
+	l.durableOff = headerSize
+	return nil
+}
+
+// cutChainLocked truncates the chain after the record ending at endOff
+// in sealed segment seg: later sealed segments and the active segment
+// are removed, and the cut segment becomes the active one. The active
+// file is removed first so every crash point leaves a state recovery
+// already handles (a sealed prefix with no active resumes from the
+// prefix and re-finds this same cut).
+func (l *Log) cutChainLocked(seg int, endOff int64, lastSeq uint64, sealedCount int) error {
+	dir := filepath.Dir(l.path)
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing active segment during chain cut: %w", err)
+	}
+	l.f = nil
+	if err := l.fs.Remove(l.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	for j := sealedCount; j > seg; j-- {
+		if err := l.removeSeg(j); err != nil {
+			return err
+		}
+	}
+	l.fs.SyncDir(dir)
+	sp := SegmentPath(l.path, seg)
+	sf, err := l.fs.OpenFile(sp, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if err := sf.Truncate(endOff); err != nil {
+		_ = sf.Close()
+		return err
+	}
+	if err := sf.Sync(); err != nil {
+		_ = sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(sp, l.path); err != nil {
+		return err
+	}
+	l.fs.SyncDir(dir)
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(endOff, io.SeekStart); err != nil {
+		_ = f.Close()
+		return err
+	}
+	l.f = f
+	l.segIdx = uint32(seg)
+	l.seq = lastSeq
+	l.goodOff, l.curOff = endOff, endOff
+	l.durableOff, l.durableSeq = endOff, lastSeq
+	return nil
+}
+
+// removeSeg deletes sealed segment j, tolerating its absence.
+func (l *Log) removeSeg(j int) error {
+	if err := l.fs.Remove(SegmentPath(l.path, j)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// initActiveLocked (re)writes the active segment's header: index, the
+// link to its predecessor, and the base fingerprint. The header is
+// synced immediately regardless of policy — it is written once per
+// segment and a lost header would orphan every later record.
+func (l *Log) initActiveLocked(index uint32, prevSeq, prevLen uint64, truncate bool) error {
 	if truncate {
 		if err := l.f.Truncate(0); err != nil {
-			return fmt.Errorf("wal: resetting stale segment %s: %w", l.path, err)
+			return fmt.Errorf("wal: resetting segment %s: %w", l.path, err)
 		}
 		if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 			return err
@@ -315,8 +655,11 @@ func (l *Log) initSegment(base Fingerprint, truncate bool) error {
 	copy(hdr, magic)
 	le := binary.LittleEndian
 	le.PutUint32(hdr[8:], walVersion)
-	le.PutUint64(hdr[16:], base.Size)
-	le.PutUint32(hdr[24:], base.CRC)
+	le.PutUint32(hdr[12:], index)
+	le.PutUint64(hdr[16:], l.base.Size)
+	le.PutUint32(hdr[24:], l.base.CRC)
+	le.PutUint64(hdr[32:], prevSeq)
+	le.PutUint64(hdr[40:], prevLen)
 	if _, err := l.f.Write(hdr); err != nil {
 		return fmt.Errorf("wal: writing header of %s: %w", l.path, err)
 	}
@@ -388,66 +731,280 @@ func encodeRecord(seq uint64, ops []Op) []byte {
 	return buf
 }
 
-// Append logs one batch, fsyncing per the configured policy before
-// returning. On any error the batch is NOT durable and must not become
-// visible; the log cleans the partial record off the tail (now, or on
-// the next Append if the disk refuses even the truncate). Under
-// SyncInterval a sticky background-flush failure is surfaced here — the
-// append probes the disk first, so recovery is automatic once the log
-// becomes writable again.
+// recordLen is the on-disk size of a batch of len(ops) ops.
+func recordLen(ops []Op) int64 {
+	return int64(recHeader + 12 + len(ops)*opSize)
+}
+
+// AppendBuffer writes one batch's record into the active segment,
+// assigning it the next sequence number, and returns its commit ticket.
+// The batch is NOT durable until Commit(ticket) returns nil (except
+// under the interval/never policies, where the ticket resolves
+// immediately and durability is the flusher's business). after, if
+// non-nil, declares that the batch was applied on top of the overlay
+// state staged by that earlier ticket: if that ticket has already been
+// rolled back, AppendBuffer reports ErrStaleChain and writes nothing —
+// the caller must re-apply its ops onto published state and try again.
+//
+// On any other error nothing was buffered; the log cleans any partial
+// record off the tail (now, or on the next append if the disk refuses
+// even the truncate).
 //
 //sage:durable
-//sage:durable-append
-func (l *Log) Append(ops []Op) (seq uint64, err error) {
+func (l *Log) AppendBuffer(ops []Op, after *Pending) (*Pending, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.closed {
-		return 0, ErrClosed
-	}
-	// Clear damage left by a previous failed append or background flush:
-	// a torn record on the tail would truncate every later record at
-	// replay, so it must be gone before anything new is written.
-	if l.curOff != l.goodOff {
-		if err := l.truncateToGoodLocked(); err != nil {
-			return 0, fmt.Errorf("wal: clearing torn tail: %w", err)
+	for {
+		if l.closed {
+			return nil, ErrClosed
 		}
-	}
-	if l.syncErr != nil {
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: flush still failing: %w", err)
+		if after != nil && after.done && after.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrStaleChain, after.err)
 		}
-		l.syncErr = nil
-		l.dirty = false
+		needRotate := l.opts.SegmentBytes > 0 && l.goodOff > headerSize &&
+			l.goodOff+recordLen(ops) > l.opts.SegmentBytes
+		needRepair := l.curOff != l.goodOff || l.syncErr != nil
+		if (needRotate || needRepair) && l.syncing {
+			// Repair and rotation need exclusive use of the file; wait
+			// out the in-flight group fsync and re-validate.
+			l.cond.Wait()
+			continue
+		}
+		// Clear damage left by a failed append or flush: a torn record
+		// on the tail would truncate every later record at replay, so it
+		// must be gone before anything new is written.
+		if l.curOff != l.goodOff {
+			if err := l.truncateToGoodLocked(); err != nil {
+				return nil, fmt.Errorf("wal: clearing torn tail: %w", err)
+			}
+		}
+		if l.syncErr != nil {
+			// Probe the disk before accepting more work; a success here
+			// makes everything already written durable (fsync flushes
+			// the whole file), so resolve any tickets still waiting.
+			if err := l.f.Sync(); err != nil {
+				return nil, fmt.Errorf("wal: flush still failing: %w", err)
+			}
+			l.syncErr = nil
+			l.dirty = false
+			l.durableOff, l.durableSeq = l.goodOff, l.seq
+			l.groupBatches += int64(l.resolveLocked(l.seq, nil))
+			l.cond.Broadcast()
+		}
+		if needRotate {
+			if err := l.rotateLocked(); err != nil {
+				return nil, err
+			}
+			continue // the rotation flush may have moved any of the state above
+		}
+		break
 	}
 
-	rec := encodeRecord(l.seq+1, ops)
+	p := &Pending{seq: l.seq + 1}
+	rec := encodeRecord(p.seq, ops)
 	n, werr := l.f.Write(rec)
 	l.curOff += int64(n)
 	if werr == nil && n < len(rec) {
 		werr = io.ErrShortWrite
 	}
 	if werr != nil {
-		// Best-effort cleanup; Append retries it next time if this fails.
+		// Best-effort cleanup; the next append retries it if this fails.
 		l.truncateToGoodLocked()
-		return 0, fmt.Errorf("wal: appending batch: %w", werr)
+		return nil, fmt.Errorf("wal: appending batch: %w", werr)
 	}
-	switch l.opts.Policy {
-	case SyncAlways:
-		if err := l.f.Sync(); err != nil {
-			// The record may or may not have reached storage; cut it off
-			// so a crash cannot resurrect a batch the caller rejected.
-			l.truncateToGoodLocked()
-			return 0, fmt.Errorf("wal: fsync: %w", err)
-		}
-	default:
-		l.dirty = true
-	}
-	l.seq++
+	l.seq = p.seq
 	l.goodOff = l.curOff
-	return l.seq, nil
+	if l.opts.Policy == SyncAlways {
+		l.pending = append(l.pending, p)
+	} else {
+		l.dirty = true
+		p.done = true
+	}
+	return p, nil
 }
 
-// truncateToGoodLocked cuts the file back to the last good record.
+// Commit is the group-commit barrier: it returns once the batch behind p
+// is durable (nil) or the batch was rolled back (the rollback's error).
+// The first committer to arrive while no flush is running becomes the
+// leader: it fsyncs once for every record buffered before the flush
+// began and resolves all of their tickets. On a failed flush the log
+// truncates back to its durable prefix and fails every unresolved
+// ticket — the disk cannot say which of the window's records it kept, so
+// none of them may become visible.
+//
+//sage:durable
+func (l *Log) Commit(p *Pending) error {
+	if p == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if p.done {
+			return p.err
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if !l.syncing {
+			l.syncing = true
+			targetOff, targetSeq := l.goodOff, l.seq
+			l.groupSyncs++
+			l.mu.Unlock()
+			err := l.f.Sync()
+			l.mu.Lock()
+			l.syncing = false
+			if err != nil {
+				l.rollbackLocked(err)
+			} else {
+				if targetOff > l.durableOff {
+					l.durableOff = targetOff
+				}
+				if targetSeq > l.durableSeq {
+					l.durableSeq = targetSeq
+				}
+				l.syncErr = nil
+				l.groupBatches += int64(l.resolveLocked(targetSeq, nil))
+			}
+			l.cond.Broadcast()
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// Append logs one batch and awaits its group-commit barrier: the v1
+// single-writer interface, kept for callers without concurrency.
+//
+//sage:durable
+//sage:durable-append
+func (l *Log) Append(ops []Op) (seq uint64, err error) {
+	p, err := l.AppendBuffer(ops, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Commit(p); err != nil {
+		return 0, err
+	}
+	return p.seq, nil
+}
+
+// resolveLocked resolves every ticket with seq <= upto, returning how
+// many it settled.
+func (l *Log) resolveLocked(upto uint64, err error) int {
+	n := 0
+	rest := l.pending[:0]
+	for _, p := range l.pending {
+		if p.seq <= upto {
+			p.done, p.err = true, err
+			n++
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	l.pending = rest
+	return n
+}
+
+// rollbackLocked handles a failed group flush: the file is cut back to
+// its durable prefix, the sequence counter rewinds with it, and every
+// unresolved ticket fails — buffered records between the durable prefix
+// and the failure cannot be told apart, so all of them are withdrawn.
+func (l *Log) rollbackLocked(cause error) {
+	werr := fmt.Errorf("wal: fsync: %w", cause)
+	for _, p := range l.pending {
+		p.done, p.err = true, werr
+	}
+	l.pending = l.pending[:0]
+	if l.f.Truncate(l.durableOff) == nil {
+		if _, err := l.f.Seek(l.durableOff, io.SeekStart); err == nil {
+			l.curOff = l.durableOff
+		}
+	}
+	// If the truncate failed, curOff stays ahead of goodOff and the next
+	// append clears the tail before writing.
+	l.goodOff = l.durableOff
+	l.seq = l.durableSeq
+	l.syncErr = cause
+}
+
+// rotateLocked seals the active segment into the numbered chain and
+// starts its successor. The seal fsync doubles as a group-commit flush
+// for every batch waiting on the barrier.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		l.rollbackLocked(err)
+		l.cond.Broadcast()
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	l.durableOff, l.durableSeq = l.goodOff, l.seq
+	l.syncErr = nil
+	l.groupBatches += int64(l.resolveLocked(l.seq, nil))
+	l.cond.Broadcast()
+	sealedLen := uint64(l.goodOff)
+	prevSeq := l.seq
+	if err := l.f.Close(); err != nil {
+		l.dieLocked(err)
+		return fmt.Errorf("wal: sealing segment: %w", err)
+	}
+	l.f = nil
+	sp := SegmentPath(l.path, int(l.segIdx))
+	if err := l.fs.Rename(l.path, sp); err != nil {
+		// The rename never happened; reattach to the still-named active
+		// segment and report the rotation failed. The log stays usable.
+		f, oerr := l.fs.OpenFile(l.path, os.O_RDWR, 0)
+		if oerr != nil {
+			l.dieLocked(oerr)
+			return fmt.Errorf("wal: rotating segment: %w", err)
+		}
+		if _, serr := f.Seek(l.goodOff, io.SeekStart); serr != nil {
+			_ = f.Close()
+			l.dieLocked(serr)
+			return fmt.Errorf("wal: rotating segment: %w", err)
+		}
+		l.f = f
+		return fmt.Errorf("wal: rotating segment: %w", err)
+	}
+	l.fs.SyncDir(filepath.Dir(l.path))
+	f, err := l.fs.OpenFile(l.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		l.dieLocked(err)
+		return fmt.Errorf("wal: rotating segment: %w", err)
+	}
+	l.f = f
+	l.segIdx++
+	if err := l.initActiveLocked(l.segIdx, prevSeq, sealedLen, false); err != nil {
+		l.dieLocked(err)
+		return err
+	}
+	l.durableOff, l.durableSeq = headerSize, prevSeq
+	l.rotations++
+	return nil
+}
+
+// dieLocked marks the log unusable after a rotation left the file
+// detached (closed, or renamed with no replacement). Pending batches
+// fail; the on-disk chain stays fully recoverable — callers reopen from
+// disk via Open.
+func (l *Log) dieLocked(cause error) {
+	l.closed = true
+	werr := fmt.Errorf("wal: log failed: %w", cause)
+	for _, p := range l.pending {
+		p.done, p.err = true, werr
+	}
+	l.pending = nil
+	if l.f != nil {
+		_ = l.f.Close()
+		l.f = nil
+	}
+	if l.stop != nil {
+		close(l.stop)
+		l.stop = nil
+	}
+	l.cond.Broadcast()
+}
+
+// truncateToGoodLocked cuts the active segment back to the last good record.
 func (l *Log) truncateToGoodLocked() error {
 	if err := l.f.Truncate(l.goodOff); err != nil {
 		return err
@@ -476,6 +1033,7 @@ func (l *Log) flushLoop() {
 				} else {
 					l.dirty = false
 					l.syncErr = nil
+					l.durableOff, l.durableSeq = l.goodOff, l.seq
 				}
 			}
 			l.mu.Unlock()
@@ -497,65 +1055,91 @@ func (l *Log) Sync() error {
 		return err
 	}
 	l.dirty, l.syncErr = false, nil
+	l.durableOff, l.durableSeq = l.goodOff, l.seq
+	l.groupBatches += int64(l.resolveLocked(l.seq, nil))
+	l.cond.Broadcast()
 	return nil
 }
 
-// Err returns the sticky background-flush failure, if any.
+// Err returns the sticky flush failure, if any.
 func (l *Log) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.syncErr
 }
 
-// Seq returns the sequence number of the last appended record.
+// Seq returns the sequence number of the last buffered record.
 func (l *Log) Seq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
 }
 
-// Size returns the segment's logical size (through the last good record).
+// Size returns the active segment's logical size (through the last good
+// record).
 func (l *Log) Size() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.goodOff
 }
 
-// Path returns the segment's file path.
+// Path returns the active segment's file path.
 func (l *Log) Path() string { return l.path }
 
-// TruncateTo cuts the segment back to off — the EndOff of the last batch
-// that should survive (or the header size for none). Recovery uses it
-// when a logged batch fails to re-apply, treating everything from that
-// record on like a corrupt tail.
+// TruncateTo cuts the chain back to b — the last batch that should
+// survive (the zero Batch for none). Recovery uses it when a logged
+// batch fails to re-apply, treating everything from that record on like
+// a corrupt tail: a cut inside a sealed segment removes the later
+// segments and reinstates the cut one as active. TruncateTo requires a
+// quiet log (no commits in flight).
 //
 //sage:durable
-func (l *Log) TruncateTo(off int64) error {
+func (l *Log) TruncateTo(b Batch) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if off < headerSize || off > l.goodOff {
-		return fmt.Errorf("wal: TruncateTo(%d) outside [%d, %d]", off, headerSize, l.goodOff)
+	if l.syncing || len(l.pending) > 0 {
+		return errors.New("wal: TruncateTo with commits in flight")
 	}
-	if err := l.f.Truncate(off); err != nil {
-		return err
+	switch {
+	case b.Seq == 0:
+		return l.resetChainLocked(int(l.segIdx) - 1)
+	case b.Seg == int(l.segIdx):
+		if b.EndOff < headerSize || b.EndOff > l.goodOff {
+			return fmt.Errorf("wal: TruncateTo(%d) outside [%d, %d]", b.EndOff, headerSize, l.goodOff)
+		}
+		if err := l.f.Truncate(b.EndOff); err != nil {
+			return err
+		}
+		if _, err := l.f.Seek(b.EndOff, io.SeekStart); err != nil {
+			return err
+		}
+		l.goodOff, l.curOff = b.EndOff, b.EndOff
+		l.seq = b.Seq
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.durableOff, l.durableSeq = b.EndOff, b.Seq
+		return nil
+	case b.Seg >= 1 && b.Seg < int(l.segIdx):
+		return l.cutChainLocked(b.Seg, b.EndOff, b.Seq, int(l.segIdx)-1)
 	}
-	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
-		return err
-	}
-	l.goodOff, l.curOff = off, off
-	return l.f.Sync()
+	return fmt.Errorf("wal: TruncateTo batch in unknown segment %d of %d", b.Seg, l.segIdx)
 }
 
-// HeaderSize returns the offset of the first record — the TruncateTo
-// argument that drops every batch.
+// HeaderSize returns the offset of the first record in any segment.
 func HeaderSize() int64 { return headerSize }
 
-// Close flushes (unless SyncNever) and closes the segment.
+// Close waits out any in-flight group flush, flushes buffered records
+// (unless SyncNever), resolves their tickets, and closes the active
+// segment. Tickets that could not be flushed fail.
 func (l *Log) Close() error {
 	l.mu.Lock()
+	for l.syncing && !l.closed {
+		l.cond.Wait()
+	}
 	if l.closed {
 		l.mu.Unlock()
 		return ErrClosed
@@ -563,12 +1147,28 @@ func (l *Log) Close() error {
 	l.closed = true
 	stop, done := l.stop, l.done
 	var first error
-	if l.dirty && l.opts.Policy != SyncNever {
+	if (l.dirty || len(l.pending) > 0) && l.opts.Policy != SyncNever {
 		first = l.f.Sync()
+		if first == nil {
+			l.durableOff, l.durableSeq = l.goodOff, l.seq
+			l.groupBatches += int64(l.resolveLocked(l.seq, nil))
+		}
+	}
+	if len(l.pending) > 0 {
+		cause := first
+		if cause == nil {
+			cause = ErrClosed
+		}
+		werr := fmt.Errorf("wal: closed before commit: %w", cause)
+		for _, p := range l.pending {
+			p.done, p.err = true, werr
+		}
+		l.pending = nil
 	}
 	if err := l.f.Close(); first == nil {
 		first = err
 	}
+	l.cond.Broadcast()
 	l.mu.Unlock()
 	if stop != nil {
 		close(stop)
@@ -577,21 +1177,32 @@ func (l *Log) Close() error {
 	return first
 }
 
-// CloseAndRemove retires the segment: close, delete the file, and sync
-// the directory. Compaction calls it after the new container generation
-// is durably in place — from then on replaying these records would
-// double-apply them (and their fingerprint no longer matches, so even a
-// crash between the container rename and this removal is safe).
+// CloseAndRemove retires the chain: close, delete every segment, and
+// sync the directory. Compaction calls it after the new container
+// generation is durably in place — from then on replaying these records
+// would double-apply them (and their fingerprints no longer match, so
+// even a crash between the container rename and this removal is safe).
+// The active file goes first, then the sealed segments from the top
+// down, so a crash mid-removal leaves a consecutive prefix with no
+// orphans.
 //
 //sage:durable
 func (l *Log) CloseAndRemove() error {
+	l.mu.Lock()
+	sealedCount := int(l.segIdx) - 1
+	l.mu.Unlock()
 	err := l.Close()
 	if err != nil && !errors.Is(err, ErrClosed) {
-		// Close-flush failure does not matter for a file being deleted.
+		// Close-flush failure does not matter for files being deleted.
 		err = nil
 	}
 	if rerr := l.fs.Remove(l.path); rerr != nil && !os.IsNotExist(rerr) {
 		return rerr
+	}
+	for j := sealedCount; j >= 1; j-- {
+		if rerr := l.fs.Remove(SegmentPath(l.path, j)); rerr != nil && !os.IsNotExist(rerr) {
+			return rerr
+		}
 	}
 	l.fs.SyncDir(filepath.Dir(l.path))
 	return err

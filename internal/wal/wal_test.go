@@ -247,10 +247,10 @@ func TestTruncateToDropsSuffix(t *testing.T) {
 		}
 		ends = append(ends, l.Size())
 	}
-	if err := l.TruncateTo(ends[0]); err != nil {
+	if err := l.TruncateTo(Batch{Seq: 1, Seg: 1, EndOff: ends[0]}); err != nil {
 		t.Fatal(err)
 	}
-	if err := l.TruncateTo(ends[1]); err == nil {
+	if err := l.TruncateTo(Batch{Seq: 2, Seg: 1, EndOff: ends[1]}); err == nil {
 		t.Fatal("TruncateTo past the end accepted")
 	}
 	_ = l.Close()

@@ -74,6 +74,12 @@ func (s *Snapshot) ApplyBatch(ops []EdgeOp) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sage: %w", err)
 	}
+	if ov == s.ov {
+		// The batch changed nothing — every op was already satisfied.
+		// Returning the receiver lets callers detect that by pointer
+		// equality (sage-serve skips the republish and generation bump).
+		return s, nil
+	}
 	next := &Snapshot{base: s.base, ov: ov}
 	if ov.Empty() {
 		next.h = s.base // the batch cancelled out: back to the fast path
