@@ -48,10 +48,28 @@
 // into the rewritten container and retires the whole chain.
 // See docs/HTTP_API.md for the full endpoint reference.
 //
+// Cluster mode: -role=router turns the process into the scale-out
+// front-end instead of a replica. A router holds no datasets; it hashes
+// the {dataset} path segment on a consistent-hash ring over the -peers
+// replicas and proxies the same API — responses relayed verbatim, so
+// clients cannot tell a routed answer from a direct one. Reads fail over
+// around dead replicas; writes fan out to every owner with the primary's
+// generation attached and answer 502 with a machine-readable reason when
+// an owner is unreachable (update batches are idempotent: retry the same
+// batch once the replica is back). See docs/ARCHITECTURE.md for the
+// topology and docs/HTTP_API.md for the router's error contract.
+//
 // Usage:
 //
 //	sage-gen -kind rmat -logn 20 -deg 16 -out web.sg
 //	sage-serve -listen :8080 -dataset web=web.sg
+//	curl -X POST localhost:8080/v1/run/web/bfs -d '{"src": 0}'
+//
+// Cluster usage (two replicas, replication 2, one router):
+//
+//	sage-serve -listen :8081 -dataset web=r1/web.sg &
+//	sage-serve -listen :8082 -dataset web=r2/web.sg &
+//	sage-serve -role=router -listen :8080 -peers r1=http://localhost:8081,r2=http://localhost:8082
 //	curl -X POST localhost:8080/v1/run/web/bfs -d '{"src": 0}'
 package main
 
@@ -71,12 +89,21 @@ import (
 	"time"
 
 	"sage"
+	"sage/internal/cluster"
 	"sage/internal/server"
 	"sage/internal/wal"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
+	role := flag.String("role", "replica", "replica (serve datasets) | router (proxy the API across -peers)")
+	peersFlag := flag.String("peers", "", "router: comma-separated name=url replica endpoints")
+	replication := flag.Int("replication", 0, "router: replicas owning each dataset (0 = the NUMA model's per-socket recommendation)")
+	vnodes := flag.Int("vnodes", 0, "router: virtual nodes per replica on the hash ring (0 = 128)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "router: background /readyz probe period (negative disables)")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "router: read-failover pause and down-replica quarantine window")
+	routerCacheEntries := flag.Int("router-cache-entries", 0, "router: router-side result-cache capacity (0 = disabled)")
+	routerCacheBytes := flag.Int64("router-cache-bytes", 0, "router: router-side result-cache byte budget (0 = 64 MiB when enabled)")
 	modeName := flag.String("mode", "appdirect", "dram|appdirect|memorymode|nvramall")
 	strategyName := flag.String("strategy", "chunked", "chunked|blocked|sparse|auto")
 	costModelName := flag.String("cost-model", "optane", "hardware cost profile: "+strings.Join(sage.CostModelNames(), "|"))
@@ -114,6 +141,19 @@ func main() {
 	for _, path := range flag.Args() {
 		base := filepath.Base(path)
 		datasets = append(datasets, namedPath{strings.TrimSuffix(base, filepath.Ext(base)), path})
+	}
+	if *role == "router" {
+		if len(datasets) != 0 {
+			fmt.Fprintln(os.Stderr, "a router holds no datasets; point -peers at the replicas that do")
+			os.Exit(2)
+		}
+		runRouter(*listen, *peersFlag, *replication, *vnodes,
+			*probeInterval, *retryBackoff, *routerCacheEntries, *routerCacheBytes, *drainGrace)
+		return
+	}
+	if *role != "replica" {
+		fmt.Fprintf(os.Stderr, "unknown role %q (want replica or router)\n", *role)
+		os.Exit(2)
 	}
 	if len(datasets) == 0 {
 		fmt.Fprintln(os.Stderr, "no datasets: pass -dataset name=path or positional graph paths")
@@ -238,4 +278,71 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
+}
+
+// runRouter is the -role=router main loop: build the ring over -peers,
+// probe them once so the first requests route on fresh health state, and
+// proxy until a signal drains the process.
+func runRouter(listen, peersFlag string, replication, vnodes int,
+	probeInterval, retryBackoff time.Duration, cacheEntries int, cacheBytes int64,
+	drainGrace time.Duration) {
+	if peersFlag == "" {
+		fmt.Fprintln(os.Stderr, "router role needs -peers name=url[,name=url...]")
+		os.Exit(2)
+	}
+	peers, err := cluster.ParsePeers(peersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Peers:         peers,
+		VNodes:        vnodes,
+		Replication:   replication,
+		ProbeInterval: probeInterval,
+		RetryBackoff:  retryBackoff,
+		CacheEntries:  cacheEntries,
+		CacheBytes:    cacheBytes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rt.ProbeNow()
+	rt.Start()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: rt}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	names := make([]string, len(peers))
+	for i, p := range peers {
+		names[i] = p.Name
+	}
+	log.Printf("sage-serve: router over %d replica(s) [%s], serving on %s",
+		len(peers), strings.Join(names, ", "), ln.Addr())
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	rt.BeginDrain()
+	log.Printf("sage-serve: draining")
+	if drainGrace > 0 {
+		time.Sleep(drainGrace)
+	}
+	log.Printf("sage-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	rt.Close()
 }

@@ -1,0 +1,222 @@
+package cluster
+
+// Replica membership and health. The router's routing decisions need one
+// bit per peer — route to it or around it — refreshed two ways: passively
+// (a transport failure while proxying marks the peer down and starts a
+// quarantine window) and actively (a background prober GETs each peer's
+// /readyz, so a replica that drains, crashes, or rejoins flips state even
+// when no request happens to touch it). A quarantined peer is retried
+// once its window elapses, so a restarted replica rejoins without any
+// registration step: the first successful probe or proxied request marks
+// it healthy again.
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peer names one replica endpoint.
+type Peer struct {
+	// Name is the replica's ring identity; placement follows it, so keep
+	// it stable across restarts (a renamed replica is a membership change
+	// that moves keys).
+	Name string
+	// URL is the replica's base URL ("http://10.0.0.7:8080").
+	URL string
+}
+
+// ParsePeers parses the -peers flag syntax: comma-separated name=url.
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, ok := strings.Cut(part, "=")
+		if !ok || name == "" || rawURL == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want name=url", part)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: %q is not an absolute URL", name, rawURL)
+		}
+		peers = append(peers, Peer{Name: name, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers given")
+	}
+	return peers, nil
+}
+
+// peerState is one replica's live routing state.
+type peerState struct {
+	name string
+	url  string
+
+	// healthy is the routing bit. Peers start healthy (optimistically:
+	// the first failed request or probe corrects it) so a router can come
+	// up before its replicas finish binding.
+	healthy atomic.Bool
+	// quarantinedUntil (unix nanos) holds the end of the backoff window
+	// after a failure; until then the peer is skipped when any healthy
+	// alternative exists, after it the peer is eligible again (and the
+	// next contact re-decides its state).
+	quarantinedUntil atomic.Int64
+
+	failures   atomic.Int64 // transport failures observed (metrics)
+	probes     atomic.Int64 // health probes issued (metrics)
+	probeFails atomic.Int64 // probes that found the peer not ready
+}
+
+// membership tracks every configured peer's health.
+type membership struct {
+	peers   map[string]*peerState
+	order   []string // configured order, for stable listings
+	client  *http.Client
+	backoff time.Duration // quarantine window after a failure
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newMembership(peers []Peer, client *http.Client, backoff time.Duration) (*membership, error) {
+	m := &membership{
+		peers:   make(map[string]*peerState, len(peers)),
+		client:  client,
+		backoff: backoff,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, p := range peers {
+		if _, dup := m.peers[p.Name]; dup {
+			return nil, fmt.Errorf("cluster: peer %q configured twice", p.Name)
+		}
+		ps := &peerState{name: p.Name, url: p.URL}
+		ps.healthy.Store(true)
+		m.peers[p.Name] = ps
+		m.order = append(m.order, p.Name)
+	}
+	return m, nil
+}
+
+// peer resolves a ring member name to its state.
+func (m *membership) peer(name string) *peerState { return m.peers[name] }
+
+// healthyCount reports how many peers are currently marked healthy.
+func (m *membership) healthyCount() int {
+	n := 0
+	for _, ps := range m.peers {
+		if ps.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// markDown records a failed contact: the peer is unhealthy and
+// quarantined for the backoff window.
+func (m *membership) markDown(ps *peerState) {
+	ps.failures.Add(1)
+	ps.healthy.Store(false)
+	ps.quarantinedUntil.Store(time.Now().Add(m.backoff).UnixNano())
+}
+
+// markUp records a successful contact.
+func (m *membership) markUp(ps *peerState) { ps.healthy.Store(true) }
+
+// eligible reports whether the peer should be tried: healthy, or
+// unhealthy with its quarantine window elapsed (the retry that lets a
+// recovered replica rejoin).
+func (m *membership) eligible(ps *peerState) bool {
+	return ps.healthy.Load() || time.Now().UnixNano() >= ps.quarantinedUntil.Load()
+}
+
+// probe GETs the peer's /readyz and updates its state: only a 200 counts
+// as routable (a draining or WAL-replaying replica answers 503 and must
+// not receive new work).
+func (m *membership) probe(ps *peerState) bool {
+	ps.probes.Add(1)
+	resp, err := m.client.Get(ps.url + "/readyz")
+	if err != nil {
+		ps.probeFails.Add(1)
+		m.markDown(ps)
+		return false
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		ps.probeFails.Add(1)
+		m.markDown(ps)
+		return false
+	}
+	m.markUp(ps)
+	return true
+}
+
+// probeAll probes every peer once (startup and the background loop).
+func (m *membership) probeAll() {
+	for _, name := range m.order {
+		m.probe(m.peers[name])
+	}
+}
+
+// start launches the background prober at the given interval; a
+// non-positive interval disables it (passive health only).
+func (m *membership) start(interval time.Duration) {
+	if interval <= 0 {
+		close(m.done)
+		return
+	}
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				m.probeAll()
+			}
+		}
+	}()
+}
+
+// close stops the background prober and waits for it to exit.
+func (m *membership) close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// peerInfo is one peer's /metrics and /v1/cluster rendering.
+type peerInfo struct {
+	Name       string `json:"name"`
+	URL        string `json:"url"`
+	Healthy    bool   `json:"healthy"`
+	Failures   int64  `json:"failures,omitempty"`
+	Probes     int64  `json:"probes,omitempty"`
+	ProbeFails int64  `json:"probe_fails,omitempty"`
+}
+
+// info lists every peer's state in configured order.
+func (m *membership) info() []peerInfo {
+	out := make([]peerInfo, 0, len(m.order))
+	for _, name := range m.order {
+		ps := m.peers[name]
+		out = append(out, peerInfo{
+			Name:       ps.name,
+			URL:        ps.url,
+			Healthy:    ps.healthy.Load(),
+			Failures:   ps.failures.Load(),
+			Probes:     ps.probes.Load(),
+			ProbeFails: ps.probeFails.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package cluster is the scale-out serving tier: a consistent-hash ring
+// assigning datasets to replicas, a membership/health layer over the
+// replicas' /readyz endpoints, and a router front-end that proxies the
+// sage-serve HTTP API (/v1/run, /v1/update, /v1/datasets, ...) to the
+// replica owning each dataset.
+//
+// The tier acts on the paper's §5.2 placement result, which
+// internal/numa models: replicating the graph per socket beats one
+// shared copy by 1.6× because all NVRAM traffic stays local. Scaled out
+// of the box, "socket" becomes "replica process": each dataset lives on
+// a small set of replicas (the ring's owners), every replica serves its
+// shard from its own local mmap arena, and the router keeps requests on
+// owners — no replica ever pulls graph data across the wire. Everything
+// the tier needs already existed in-process (immutable mmap datasets,
+// stateless run requests, generation-keyed result caches, WAL-durable
+// updates); this package only adds placement, health, and proxying.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring mapping dataset names to replica names
+// with virtual nodes. Each replica contributes vnodes points on a 64-bit
+// hash circle; a dataset is owned by the replicas owning the first
+// distinct points at or clockwise from the dataset's hash. Adding or
+// removing a replica therefore moves only the keys adjacent to its own
+// points (~1/n of the keyspace), never reshuffles the rest — the
+// property that keeps replica caches and WAL shards warm across
+// membership changes.
+//
+// Ownership is a pure function of the sorted member set: two rings built
+// from the same replicas in any insertion order agree on every key, so a
+// router and an offline tool can compute placement independently.
+//
+// A Ring is immutable under concurrent readers; Add and Remove rebuild
+// the point table and must not race with lookups.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted member names
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: its position and owning member index.
+type ringPoint struct {
+	hash uint64
+	node int32
+}
+
+// DefaultVNodes balances within a few percent for realistic member
+// counts while keeping the point table small; the ±25% balance bound is
+// property-tested at this setting.
+const DefaultVNodes = 128
+
+// NewRing builds a ring with vnodes virtual nodes per member (<= 0
+// selects DefaultVNodes). Duplicate member names are an error.
+func NewRing(vnodes int, members ...string) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes}
+	seen := map[string]bool{}
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: member %q added twice", m)
+		}
+		seen[m] = true
+		r.nodes = append(r.nodes, m)
+	}
+	r.rebuild()
+	return r, nil
+}
+
+// rebuild recomputes the point table from the member set.
+func (r *Ring) rebuild() {
+	sort.Strings(r.nodes)
+	r.points = r.points[:0]
+	for i, node := range r.nodes {
+		for v := 0; v < r.vnodes; v++ {
+			h := hashString(node + "#" + strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Ties (vanishingly rare at 64 bits) resolve by member order so
+		// ownership stays a pure function of the member set.
+		return r.points[a].node < r.points[b].node
+	})
+}
+
+// Members returns the sorted member names.
+func (r *Ring) Members() []string { return append([]string(nil), r.nodes...) }
+
+// Add inserts a member, reporting whether it was new.
+func (r *Ring) Add(member string) bool {
+	for _, n := range r.nodes {
+		if n == member {
+			return false
+		}
+	}
+	r.nodes = append(r.nodes, member)
+	r.rebuild()
+	return true
+}
+
+// Remove deletes a member, reporting whether it was present.
+func (r *Ring) Remove(member string) bool {
+	for i, n := range r.nodes {
+		if n == member {
+			r.nodes = append(r.nodes[:i], r.nodes[i+1:]...)
+			r.rebuild()
+			return true
+		}
+	}
+	return false
+}
+
+// Owner returns the member owning key ("" on an empty ring): the first
+// point at or clockwise from the key's hash.
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns key's replica preference list: up to n distinct members
+// in clockwise point order starting at the key's hash. The first entry
+// is the primary (the write leader); the rest are the read replicas a
+// router fails over to. n beyond the member count is truncated.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashString(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	taken := make(map[int32]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !taken[p.node] {
+			taken[p.node] = true
+			owners = append(owners, r.nodes[p.node])
+		}
+	}
+	return owners
+}
+
+// hashString is FNV-1a 64 strengthened with the murmur3 finalizer: FNV
+// alone clusters badly on short sequential labels ("web-1", "web-2"),
+// and ring balance is only as good as the avalanche of the point hash.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,840 @@
+package cluster
+
+// The router front-end. One process speaks the whole sage-serve HTTP API
+// while the data lives sharded across replicas: the router hashes the
+// {dataset} path segment on the ring, proxies the request to an owning
+// replica, and relays the response verbatim — bodies byte-for-byte,
+// X-Sage-* headers included — so a client cannot tell a routed answer
+// from a direct one (the property the cluster differential suite pins).
+//
+// Reads (/v1/run) retry around failure: a transport error marks the
+// replica down (quarantined for the retry backoff) and the request moves
+// to the next owner in the dataset's preference list, so a dead replica
+// costs reads one failover, not an outage, as long as any owner is up.
+// Writes (/v1/update) never failover: the batch goes to the primary
+// owner, then fans out to the remaining owners with the primary's
+// resulting generation attached (X-Sage-Sync-Generation), which each
+// secondary adopts as a floor — after a fan-out every owner reports the
+// same generation, so generation-keyed caches (the replicas' and the
+// router's own) stay coherent without invalidation traffic. A fan-out
+// that cannot reach every owner answers 502 with the documented
+// machine-readable reason; update batches are idempotent (re-inserting a
+// present edge and deleting an absent one are no-ops), so the client
+// retries the same batch once the replica is back and the owners
+// converge.
+//
+// Admission stays where the capacity is: each replica enforces its own
+// three-gate 429 contract (concurrency, DRAM words, predicted cost), and
+// the router relays those 429s — Retry-After and all — untouched.
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sage/internal/numa"
+	"sage/internal/server"
+)
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Peers are the replicas behind this router. Required.
+	Peers []Peer
+	// VNodes is the ring's virtual nodes per replica (<= 0:
+	// DefaultVNodes).
+	VNodes int
+	// Replication is how many replicas own each dataset (reads fail over
+	// across them; writes fan out to all of them). <= 0 selects the NUMA
+	// model's recommendation — one replica per socket, the paper's §5.2
+	// replicated placement — clamped to the peer count.
+	Replication int
+	// Client issues proxied requests; nil builds one with no overall
+	// timeout (runs may be long; cancellation rides the request context).
+	Client *http.Client
+	// ProbeInterval is the background health-probe period (0: default 2s;
+	// < 0: disabled, passive failure detection only).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /readyz probe (0: default 2s).
+	ProbeTimeout time.Duration
+	// RetryBackoff is the pause between read failover attempts and the
+	// quarantine window after a transport failure (0: default 100ms).
+	RetryBackoff time.Duration
+	// CacheEntries sizes the router's own result cache (0: disabled).
+	// Entries are keyed by (dataset, algorithm, query, body) and served
+	// only at the dataset's latest known generation, so an update routed
+	// through this router can never be answered with a pre-update result.
+	CacheEntries int
+	// CacheBytes caps the summed body bytes of cached responses (0 with
+	// CacheEntries > 0: 64 MiB).
+	CacheBytes int64
+}
+
+// Router is the cluster front-end HTTP handler. Create with NewRouter,
+// optionally Start background health probing, and Close when done.
+type Router struct {
+	ring        *Ring
+	peers       *membership
+	client      *http.Client
+	replication int
+	backoff     time.Duration
+	probeEvery  time.Duration
+	cache       *routerCache
+	gens        genTable
+	mux         *http.ServeMux
+	started     time.Time
+	draining    atomic.Bool
+
+	runsProxied       atomic.Int64
+	updatesProxied    atomic.Int64
+	listingsProxied   atomic.Int64
+	readFailovers     atomic.Int64
+	writeFanoutErrors atomic.Int64
+	noReplicaErrors   atomic.Int64
+}
+
+// NewRouter builds a router over the configured peers. The ring is fixed
+// at construction: membership changes are a restart (placement must be
+// agreed on by every router, so it follows configuration, not health).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one peer")
+	}
+	names := make([]string, len(cfg.Peers))
+	for i, p := range cfg.Peers {
+		names[i] = p.Name
+	}
+	ring, err := NewRing(cfg.VNodes, names...)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: runtime.GOMAXPROCS(0) * 4,
+		}}
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	probeClient := &http.Client{Timeout: probeTimeout, Transport: client.Transport}
+	peers, err := newMembership(cfg.Peers, probeClient, backoff)
+	if err != nil {
+		return nil, err
+	}
+	replication := cfg.Replication
+	if replication <= 0 {
+		replication = numa.DefaultModel().RecommendedReplicas()
+	}
+	if replication > len(cfg.Peers) {
+		replication = len(cfg.Peers)
+	}
+	probeEvery := cfg.ProbeInterval
+	if probeEvery == 0 {
+		probeEvery = 2 * time.Second
+	}
+	rt := &Router{
+		ring:        ring,
+		peers:       peers,
+		client:      client,
+		replication: replication,
+		backoff:     backoff,
+		probeEvery:  probeEvery,
+		cache:       newRouterCache(cfg.CacheEntries, cfg.CacheBytes),
+		gens:        genTable{m: map[string]uint64{}},
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("GET /v1/datasets", rt.handleDatasets)
+	rt.mux.HandleFunc("GET /v1/algorithms", rt.handleAlgorithms)
+	rt.mux.HandleFunc("POST /v1/run/{dataset}/{algo}", rt.handleRun)
+	rt.mux.HandleFunc("POST /v1/update/{dataset}", rt.handleUpdate)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Start launches background health probing (no-op when disabled).
+func (rt *Router) Start() { rt.peers.start(rt.probeEvery) }
+
+// ProbeNow synchronously probes every peer's /readyz once — the same
+// sweep the background prober runs. Tests (and operators' init scripts)
+// use it to settle health state deterministically.
+func (rt *Router) ProbeNow() { rt.peers.probeAll() }
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing to this
+// router while in-flight proxies finish.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Close stops background probing.
+func (rt *Router) Close() { rt.peers.close() }
+
+// ServeHTTP dispatches to the router endpoints.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Owners returns dataset's replica preference list under this router's
+// ring and replication factor (primary first).
+func (rt *Router) Owners(dataset string) []string {
+	return rt.ring.Owners(dataset, rt.replication)
+}
+
+// --------------------------------------------------------------------
+// Generation tracking (router-cache coherence).
+// --------------------------------------------------------------------
+
+// genTable tracks the latest generation observed per dataset — from
+// update fan-outs and from proxied run responses — the freshness bar a
+// router-cached entry must meet to be served.
+type genTable struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func (g *genTable) observe(ds string, gen uint64) {
+	if gen == 0 {
+		return
+	}
+	g.mu.Lock()
+	if gen > g.m[ds] {
+		g.m[ds] = gen
+	}
+	g.mu.Unlock()
+}
+
+func (g *genTable) current(ds string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.m[ds]
+}
+
+func (g *genTable) size() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// --------------------------------------------------------------------
+// Proxy plumbing.
+// --------------------------------------------------------------------
+
+// hopByHop are the connection-scoped headers a proxy must not relay.
+var hopByHop = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Authenticate": true,
+	"Proxy-Authorization": true, "Te": true, "Trailer": true,
+	"Transfer-Encoding": true, "Upgrade": true,
+}
+
+// RoutedToHeader names the replica that served a proxied request — the
+// one response header the router adds; everything else is relayed
+// verbatim.
+const RoutedToHeader = "X-Sage-Routed-To"
+
+// doPeer issues one proxied request to ps. body may be resent (it is a
+// byte slice, not the original stream). extra headers are added after
+// the base ones. A returned error is a transport failure (the peer is
+// unreachable or cut the connection); HTTP-level errors come back as
+// responses.
+func (rt *Router) doPeer(ctx context.Context, ps *peerState, method, pathAndQuery string, body []byte, extra http.Header) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, ps.url+pathAndQuery, bytesReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	return rt.client.Do(req)
+}
+
+// bytesReader avoids importing bytes just for one constructor while
+// keeping a nil body truly empty.
+func bytesReader(b []byte) io.Reader {
+	if len(b) == 0 {
+		return http.NoBody
+	}
+	return io.LimitReader(readerOf(b), int64(len(b)))
+}
+
+type byteSliceReader struct {
+	b []byte
+	i int
+}
+
+func readerOf(b []byte) *byteSliceReader { return &byteSliceReader{b: b} }
+
+func (r *byteSliceReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// relay copies resp to w verbatim — status, headers (minus hop-by-hop),
+// body — stamped with the serving replica's name. With capture set the
+// body is buffered and returned so the caller can cache it.
+func relay(w http.ResponseWriter, resp *http.Response, peer string, capture bool) ([]byte, error) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if hopByHop[k] {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(RoutedToHeader, peer)
+	w.WriteHeader(resp.StatusCode)
+	if capture {
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		_, err = w.Write(body)
+		return body, err
+	}
+	_, err := io.Copy(w, resp.Body)
+	return nil, err
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"response not serializable"}` + "\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+// readOrder returns owners with every currently-healthy peer ahead of
+// the unhealthy ones, preference order preserved within each class: the
+// likely-up replica is tried first, but a quarantined one is still tried
+// last — that attempt is how a recovered replica rejoins between probes.
+func (rt *Router) readOrder(owners []string) []*peerState {
+	out := make([]*peerState, 0, len(owners))
+	for _, name := range owners {
+		if ps := rt.peers.peer(name); ps != nil && ps.healthy.Load() {
+			out = append(out, ps)
+		}
+	}
+	for _, name := range owners {
+		if ps := rt.peers.peer(name); ps != nil && !ps.healthy.Load() {
+			out = append(out, ps)
+		}
+	}
+	return out
+}
+
+// retryAfterSeconds is the Retry-After a router-originated 502/503
+// carries: one quarantine window, rounded up — when it elapses the
+// router will try the dead replica again, so that is the soonest a
+// retry can see different routing.
+func (rt *Router) retryAfterSeconds() int {
+	s := int((rt.backoff + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// --------------------------------------------------------------------
+// Handlers.
+// --------------------------------------------------------------------
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"role":     "router",
+		"uptime_s": time.Since(rt.started).Seconds(),
+	})
+}
+
+// handleReadyz reports routability: a router with no healthy replica
+// cannot serve anything, and a draining router must stop receiving.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case rt.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "draining", "reason": "draining"})
+	case rt.peers.healthyCount() == 0:
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"status": "no_replicas", "reason": "no_replicas"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
+}
+
+// handleCluster reports the routing topology; ?dataset=name adds that
+// dataset's owner preference list.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"role":        "router",
+		"vnodes":      rt.ring.vnodes,
+		"replication": rt.replication,
+		"members":     rt.ring.Members(),
+		"peers":       rt.peers.info(),
+	}
+	if ds := r.URL.Query().Get("dataset"); ds != "" {
+		resp["dataset"] = ds
+		resp["owners"] = rt.Owners(ds)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDatasets fans out to every reachable replica and merges the
+// catalogs: each dataset is reported once, from the highest-ranked owner
+// that listed it, annotated with which replica answered and the full
+// owner list.
+func (rt *Router) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Datasets []map[string]any `json:"datasets"`
+	}
+	best := map[string]int{} // dataset -> rank of the replica its entry came from
+	merged := map[string]map[string]any{}
+	reached := 0
+	for _, ps := range rt.readOrder(rt.ring.Members()) {
+		resp, err := rt.doPeer(r.Context(), ps, http.MethodGet, "/v1/datasets", nil, nil)
+		if err != nil {
+			rt.peers.markDown(ps)
+			continue
+		}
+		var l listing
+		err = json.NewDecoder(resp.Body).Decode(&l)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		rt.peers.markUp(ps)
+		reached++
+		for _, entry := range l.Datasets {
+			name, _ := entry["name"].(string)
+			if name == "" {
+				continue
+			}
+			owners := rt.Owners(name)
+			rank := len(owners) + 1 // non-owners sort after every owner
+			for i, o := range owners {
+				if o == ps.name {
+					rank = i
+					break
+				}
+			}
+			if prev, seen := best[name]; seen && prev <= rank {
+				continue
+			}
+			entry["served_by"] = ps.name
+			entry["replicas"] = owners
+			best[name], merged[name] = rank, entry
+		}
+	}
+	if reached == 0 {
+		rt.noReplicaErrors.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": "no replica reachable", "reason": "no_replica"})
+		return
+	}
+	rt.listingsProxied.Add(1)
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]map[string]any, len(names))
+	for i, name := range names {
+		out[i] = merged[name]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+// handleAlgorithms proxies the registry listing from any reachable
+// replica (it is identical everywhere: one binary, one registry).
+func (rt *Router) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	for _, ps := range rt.readOrder(rt.ring.Members()) {
+		resp, err := rt.doPeer(r.Context(), ps, http.MethodGet, "/v1/algorithms", nil, nil)
+		if err != nil {
+			rt.peers.markDown(ps)
+			continue
+		}
+		rt.peers.markUp(ps)
+		rt.listingsProxied.Add(1)
+		_, _ = relay(w, resp, ps.name, false)
+		return
+	}
+	rt.noReplicaErrors.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+	writeJSON(w, http.StatusBadGateway,
+		map[string]string{"error": "no replica reachable", "reason": "no_replica"})
+}
+
+// handleRun routes a read to the dataset's owners, failing over on
+// transport errors. Replica responses — success or HTTP-level error
+// (404, 400, 429 with its Retry-After, ...) — are relayed verbatim.
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	ds := r.PathValue("dataset")
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading body: " + err.Error()})
+		return
+	}
+	owners := rt.Owners(ds)
+	if len(owners) == 0 {
+		rt.noReplicaErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": "no replicas configured", "reason": "no_replica"})
+		return
+	}
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+
+	key := ds + "\x00" + pathAndQuery + "\x00" + string(body)
+	if e, ok := rt.cache.get(key, rt.gens.current(ds)); ok {
+		// A router-cache hit mirrors a replica-cache hit: same body bytes
+		// the replica produced, model and prediction headers, no actuals
+		// (nothing executed).
+		h := w.Header()
+		h.Set("Content-Type", e.contentType)
+		if e.costModel != "" {
+			h.Set("X-Sage-Cost-Model", e.costModel)
+		}
+		if e.costPredicted != "" {
+			h.Set("X-Sage-Cost-Predicted", e.costPredicted)
+		}
+		h.Set(server.GenerationHeader, strconv.FormatUint(e.gen, 10))
+		h.Set("X-Sage-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		w.Write(e.body)
+		return
+	}
+
+	for i, ps := range rt.readOrder(owners) {
+		if i > 0 {
+			rt.readFailovers.Add(1)
+			select {
+			case <-time.After(rt.backoff):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		resp, err := rt.doPeer(r.Context(), ps, http.MethodPost, pathAndQuery, body, nil)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // the client is gone, not the replica
+			}
+			rt.peers.markDown(ps)
+			continue
+		}
+		rt.peers.markUp(ps)
+		rt.runsProxied.Add(1)
+		capture := rt.cache != nil && resp.StatusCode == http.StatusOK
+		respBody, _ := relay(w, resp, ps.name, capture)
+		if capture && respBody != nil {
+			if gen, err := strconv.ParseUint(resp.Header.Get(server.GenerationHeader), 10, 64); err == nil {
+				rt.gens.observe(ds, gen)
+				rt.cache.put(key, &routerEntry{
+					gen:           gen,
+					body:          respBody,
+					contentType:   resp.Header.Get("Content-Type"),
+					costModel:     resp.Header.Get("X-Sage-Cost-Model"),
+					costPredicted: resp.Header.Get("X-Sage-Cost-Predicted"),
+				})
+			}
+		}
+		return
+	}
+	rt.noReplicaErrors.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+	writeJSON(w, http.StatusBadGateway, map[string]any{
+		"error":  fmt.Sprintf("no live replica for dataset %q (owners: %v)", ds, owners),
+		"reason": "no_replica",
+	})
+}
+
+// handleUpdate routes a write to the dataset's primary owner, then fans
+// it out to the remaining owners with the primary's generation attached,
+// so every owner publishes the batch at the same generation. Writes
+// never fail over: a transport failure answers 502 with a
+// machine-readable reason (batches are idempotent — retry the same body
+// once the replica is back and the owners converge).
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	ds := r.PathValue("dataset")
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "reading body: " + err.Error()})
+		return
+	}
+	owners := rt.Owners(ds)
+	if len(owners) == 0 {
+		rt.noReplicaErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway,
+			map[string]string{"error": "no replicas configured", "reason": "no_replica"})
+		return
+	}
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+
+	primary := rt.peers.peer(owners[0])
+	resp, err := rt.doPeer(r.Context(), primary, http.MethodPost, pathAndQuery, body, nil)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		rt.peers.markDown(primary)
+		rt.writeFanoutErrors.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":   fmt.Sprintf("primary owner %q unreachable for dataset %q", primary.name, ds),
+			"reason":  "replica_down",
+			"replica": primary.name,
+		})
+		return
+	}
+	rt.peers.markUp(primary)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		// The primary rejected the batch (400/404/503 read_only/507/...):
+		// nothing was applied anywhere; relay its verdict verbatim.
+		rt.updatesProxied.Add(1)
+		_, _ = relay(w, resp, primary.name, false)
+		return
+	}
+	primBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		rt.writeFanoutErrors.Add(1)
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":   fmt.Sprintf("reading primary response from %q: %v", primary.name, err),
+			"reason":  "replica_down",
+			"replica": primary.name,
+		})
+		return
+	}
+	gen, _ := strconv.ParseUint(resp.Header.Get(server.GenerationHeader), 10, 64)
+	// Record the new generation before anything can fail: even a broken
+	// fan-out must keep the router cache from serving pre-update results.
+	rt.gens.observe(ds, gen)
+
+	appliedTo := []string{primary.name}
+	var sync http.Header
+	if gen > 0 {
+		sync = http.Header{server.SyncGenerationHeader: []string{strconv.FormatUint(gen, 10)}}
+	}
+	for _, name := range owners[1:] {
+		sec := rt.peers.peer(name)
+		sresp, err := rt.doPeer(r.Context(), sec, http.MethodPost, pathAndQuery, body, sync)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			rt.peers.markDown(sec)
+			rt.writeFanoutErrors.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+			writeJSON(w, http.StatusBadGateway, map[string]any{
+				"error": fmt.Sprintf("owner %q unreachable for dataset %q: batch applied to %v; retry the same batch once every owner is reachable (batches are idempotent)",
+					name, ds, appliedTo),
+				"reason":     "replica_down",
+				"replica":    name,
+				"applied_to": appliedTo,
+			})
+			return
+		}
+		rt.peers.markUp(sec)
+		if sresp.StatusCode < 200 || sresp.StatusCode >= 300 {
+			detail, _ := io.ReadAll(io.LimitReader(sresp.Body, 512))
+			sresp.Body.Close()
+			rt.writeFanoutErrors.Add(1)
+			writeJSON(w, http.StatusBadGateway, map[string]any{
+				"error": fmt.Sprintf("owner %q rejected the fan-out for dataset %q (status %d): %s; batch applied to %v",
+					name, ds, sresp.StatusCode, string(detail), appliedTo),
+				"reason":     "fanout_failed",
+				"replica":    name,
+				"status":     sresp.StatusCode,
+				"applied_to": appliedTo,
+			})
+			return
+		}
+		io.Copy(io.Discard, sresp.Body)
+		sresp.Body.Close()
+		appliedTo = append(appliedTo, name)
+	}
+	rt.updatesProxied.Add(1)
+
+	// Every owner accepted: relay the primary's response verbatim.
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if hopByHop[k] || k == "Content-Length" {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set(RoutedToHeader, primary.name)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(primBody)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":     "router",
+		"uptime_s": time.Since(rt.started).Seconds(),
+		"ring": map[string]any{
+			"vnodes":      rt.ring.vnodes,
+			"replication": rt.replication,
+			"members":     len(rt.ring.nodes),
+		},
+		"proxied": map[string]int64{
+			"runs":     rt.runsProxied.Load(),
+			"updates":  rt.updatesProxied.Load(),
+			"listings": rt.listingsProxied.Load(),
+		},
+		"read_failovers":      rt.readFailovers.Load(),
+		"write_fanout_errors": rt.writeFanoutErrors.Load(),
+		"no_replica_errors":   rt.noReplicaErrors.Load(),
+		"router_cache":        rt.cache.snapshot(),
+		"generations_tracked": rt.gens.size(),
+		"peers":               rt.peers.info(),
+	})
+}
+
+// --------------------------------------------------------------------
+// Router result cache.
+// --------------------------------------------------------------------
+
+// routerEntry is one cached run response: the replica-produced body and
+// the headers a cache hit re-serves, valid only while gen is still the
+// dataset's latest known generation.
+type routerEntry struct {
+	key           string
+	gen           uint64
+	body          []byte
+	contentType   string
+	costModel     string
+	costPredicted string
+}
+
+func (e *routerEntry) size() int64 { return int64(len(e.body) + len(e.key)) }
+
+// routerCache is an LRU of proxied run responses, bounded by entries and
+// bytes, mirroring the replica-side result cache's shape. A nil cache is
+// valid and always misses.
+type routerCache struct {
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	ll       *list.List
+	byKey    map[string]*list.Element
+	hits     atomic.Int64
+	misses   atomic.Int64
+	stale    atomic.Int64
+}
+
+func newRouterCache(max int, maxBytes int64) *routerCache {
+	if max <= 0 {
+		return nil
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &routerCache{max: max, maxBytes: maxBytes, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the entry for key if it exists at generation floor
+// (entries behind the dataset's latest known generation are stale and
+// dropped on sight).
+func (c *routerCache) get(key string, floor uint64) (*routerEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.byKey[key]
+	if !found {
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*routerEntry)
+	if e.gen < floor {
+		c.stale.Add(1)
+		c.misses.Add(1)
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return e, true
+}
+
+func (c *routerCache) put(key string, e *routerEntry) {
+	if c == nil {
+		return
+	}
+	e.key = key
+	if e.size() > c.maxBytes/4 {
+		return // one giant answer must not wipe the cache
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, dup := c.byKey[key]; dup {
+		c.removeLocked(el)
+	}
+	el := c.ll.PushFront(e)
+	c.byKey[key] = el
+	c.bytes += e.size()
+	for c.ll.Len() > c.max || c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+	}
+}
+
+func (c *routerCache) removeLocked(el *list.Element) {
+	e := el.Value.(*routerEntry)
+	c.ll.Remove(el)
+	delete(c.byKey, e.key)
+	c.bytes -= e.size()
+}
+
+// snapshot reports cache counters for /metrics (nil when disabled).
+func (c *routerCache) snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	entries, bytes := int64(c.ll.Len()), c.bytes
+	c.mu.Unlock()
+	return map[string]int64{
+		"entries": entries,
+		"bytes":   bytes,
+		"hits":    c.hits.Load(),
+		"misses":  c.misses.Load(),
+		"stale":   c.stale.Load(),
+	}
+}

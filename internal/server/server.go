@@ -400,6 +400,20 @@ func decodeArgs(r *http.Request, args *sage.AlgoArgs) error {
 	return decodeStrict(r, args, 1<<20, "args (schema: see /v1/algorithms)")
 }
 
+// GenerationHeader reports, on run and update responses, the snapshot
+// generation the request executed against (run: the pinned generation,
+// cache hits included; update: the generation the batch published). The
+// cluster router reads it to keep its own generation-keyed result cache
+// coherent without parsing response bodies.
+const GenerationHeader = "X-Sage-Generation"
+
+// SyncGenerationHeader is an update-request header carrying a generation
+// floor: the batch's published generation is raised to at least this
+// value (see updates.applySync). The cluster router sets it when fanning
+// an update out to secondary owners so all owners agree on the batch's
+// generation; clients normally never send it.
+const SyncGenerationHeader = "X-Sage-Sync-Generation"
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	dsName := r.PathValue("dataset")
 	algoName := r.PathValue("algo")
@@ -438,6 +452,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	est, _ := s.engine.PredictCost(algoName, g) // algoName validated above
 	w.Header().Set("X-Sage-Cost-Model", est.Model)
 	w.Header().Set("X-Sage-Cost-Predicted", strconv.FormatInt(est.Cost, 10))
+	w.Header().Set(GenerationHeader, strconv.FormatUint(gen, 10))
 
 	key := fmt.Sprintf("%s@%d/%s?%+v", dsName, gen, algoName, canon)
 	if body, slim, ok := s.results.get(key); ok {
@@ -591,8 +606,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty update: provide ops, compact, or both")
 		return
 	}
+	var minGen uint64
+	if v := r.Header.Get(SyncGenerationHeader); v != "" {
+		g, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%s: %q is not a generation", SyncGenerationHeader, v)
+			return
+		}
+		minGen = g
+	}
 	start := time.Now()
-	res, err := s.updates.apply(dsName, req.Ops, req.Compact)
+	res, err := s.updates.applySync(dsName, req.Ops, req.Compact, minGen)
 	if err != nil {
 		switch {
 		case errors.Is(err, errUnknownDataset):
@@ -629,6 +653,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if res.compactErr != nil {
 		resp.CompactError = res.compactErr.Error()
 	}
+	w.Header().Set(GenerationHeader, strconv.FormatUint(res.generation, 10))
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -319,6 +319,19 @@ type updateResult struct {
 // updateResult.compactErr — exactly the state crash recovery would
 // rebuild.
 func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateResult, error) {
+	return u.applySync(name, ops, compact, 0)
+}
+
+// applySync is apply with a generation floor: when the batch publishes a
+// new generation (a real swap or a compaction), that generation is
+// raised to at least minGen (0: no floor). The cluster router sets the
+// floor on update fan-out — X-Sage-Sync-Generation carries the primary
+// owner's post-batch generation — so every owner publishes the same
+// batch at the same generation and (generation, algo, args) result-cache
+// keys mean the same thing on every replica. A no-op batch keeps its
+// no-publish guarantee: contents already match the floor's state, so
+// cached results stay valid and the existing generation is reported.
+func (u *updates) applySync(name string, ops []sage.EdgeOp, compact bool, minGen uint64) (*updateResult, error) {
 	path, err := u.catalog.path(name)
 	if err != nil {
 		return nil, err
@@ -505,6 +518,9 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 			ticket = u.newTicket(name)
 		}
 		res.generation = u.catalog.cache.Bump(path)
+		if minGen > res.generation {
+			res.generation = u.catalog.cache.BumpTo(path, minGen)
+		}
 		res.deltaWords = next.DeltaWords()
 		res.arcsAdded, res.arcsDeleted = next.DeltaArcs()
 		if next.DeltaWords() == 0 {
@@ -551,6 +567,9 @@ func (u *updates) apply(name string, ops []sage.EdgeOp, compact bool) (*updateRe
 			return res, nil
 		}
 		res.compacted = true
+		if minGen > res.generation {
+			res.generation = u.catalog.cache.BumpTo(path, minGen)
+		}
 		res.deltaWords = 0
 		res.arcsAdded, res.arcsDeleted = 0, 0
 		// Re-key the publication at the post-compact generation so a

@@ -210,6 +210,28 @@ func (c *Cache) Bump(path string) uint64 {
 	return c.gens[path]
 }
 
+// BumpTo raises path's generation to at least gen, returning the
+// resulting generation (unchanged when already at or past gen). Like
+// Bump, the open dataset stays shared and outstanding handles keep
+// their acquired generation; only new acquisitions see the raise.
+// Replicated update layers use it to adopt a peer's generation as a
+// floor, so every replica publishes the same batch at the same
+// generation and cross-replica (generation, algo, args) cache keys
+// stay coherent.
+//
+//sage:publish
+func (c *Cache) BumpTo(path string, gen uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.gens[path] {
+		c.gens[path] = gen
+		if e, ok := c.entries[path]; ok {
+			e.gen = gen
+		}
+	}
+	return c.gens[path]
+}
+
 // Invalidate detaches the cached dataset for path, reporting whether an
 // entry was present: future Acquires reopen the file (at a bumped
 // generation), while the detached dataset stays open — and every
